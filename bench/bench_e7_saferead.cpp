@@ -1,0 +1,122 @@
+// E7 — "The most time consuming operation is most likely performing a
+// SafeRead on each cell as we traverse the list; it would be useful to
+// have this operation implemented in hardware." (§6)
+//
+// Per-node traversal cost of a 1024-cell sorted list under each read
+// protection scheme:
+//   * valois-saferead  — cursor traversal; every hop is a SafeRead
+//                        (fetch_add + revalidate) plus matching Releases.
+//   * valois-raw       — same structure, unprotected pointer walk (the
+//                        "hardware SafeRead" upper bound the paper asks
+//                        for: what traversal would cost if protection
+//                        were free).
+//   * hm-hazard        — Harris-Michael list, hazard-pointer protected
+//                        (two fenced stores + revalidation per hop).
+//   * hm-epoch         — Harris-Michael under epochs: one pin per full
+//                        traversal, plain loads per hop.
+//   * hm-leaky         — no protection at all (floor).
+//
+// google-benchmark binary: reports ns per full traversal; divide by 1024
+// for ns/node. The shape to reproduce: saferead is the most expensive
+// per-hop scheme; epoch/leaky show that amortized (per-traversal)
+// protection is nearly free.
+#include <benchmark/benchmark.h>
+
+#include "lfll/baseline/harris_michael_list.hpp"
+#include "lfll/core/list.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/reclaim/epoch.hpp"
+#include "lfll/reclaim/leaky.hpp"
+
+namespace {
+
+using namespace lfll;
+
+constexpr int kCells = 1024;
+
+sorted_list_map<int, int>& valois_map() {
+    static sorted_list_map<int, int>* m = [] {
+        auto* map = new sorted_list_map<int, int>(2 * kCells);
+        for (int k = 0; k < kCells; ++k) map->insert(k, k);
+        return map;
+    }();
+    return *m;
+}
+
+void BM_ValoisSafeReadTraversal(benchmark::State& state) {
+    auto& map = valois_map();
+    long sum = 0;
+    for (auto _ : state) {
+        for (sorted_list_map<int, int>::cursor c(map.list()); !c.at_end();
+             map.list().next(c)) {
+            sum += (*c).first;
+        }
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_ValoisSafeReadTraversal);
+
+void BM_ValoisRawTraversal(benchmark::State& state) {
+    auto& list = valois_map().list();
+    long sum = 0;
+    for (auto _ : state) {
+        // Unprotected walk: only sound because this benchmark is
+        // single-threaded and quiescent — exactly the cost floor the
+        // paper's "hardware SafeRead" remark is about.
+        for (auto* p = list.head()->next.load(std::memory_order_acquire);
+             p != nullptr && !p->is_tail(); p = p->next.load(std::memory_order_acquire)) {
+            if (p->is_cell()) sum += p->value().first;
+        }
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_ValoisRawTraversal);
+
+template <typename Domain>
+harris_michael_list<int, int, Domain>& hm_list() {
+    static harris_michael_list<int, int, Domain>* l = [] {
+        auto* list = new harris_michael_list<int, int, Domain>();
+        for (int k = 0; k < kCells; ++k) list->insert(k, k);
+        return list;
+    }();
+    return *l;
+}
+
+template <typename Domain>
+void BM_HarrisMichaelTraversal(benchmark::State& state) {
+    auto& list = hm_list<Domain>();
+    for (auto _ : state) {
+        // find() of the last key walks the whole list under the domain's
+        // protection protocol.
+        benchmark::DoNotOptimize(list.find(kCells - 1));
+    }
+    state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_HarrisMichaelTraversal<hazard_domain>)->Name("BM_HMHazardTraversal");
+BENCHMARK(BM_HarrisMichaelTraversal<epoch_domain>)->Name("BM_HMEpochTraversal");
+BENCHMARK(BM_HarrisMichaelTraversal<leaky_domain>)->Name("BM_HMLeakyTraversal");
+
+void BM_SafeReadSingle(benchmark::State& state) {
+    // The primitive itself: one SafeRead + Release pair.
+    auto& list = valois_map().list();
+    auto& pool = list.pool();
+    for (auto _ : state) {
+        auto* p = pool.safe_read(list.head()->next);
+        pool.release(p);
+    }
+}
+BENCHMARK(BM_SafeReadSingle);
+
+void BM_PlainAcquireLoad(benchmark::State& state) {
+    auto& list = valois_map().list();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(list.head()->next.load(std::memory_order_acquire));
+    }
+}
+BENCHMARK(BM_PlainAcquireLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Quickstart: the core list and the dictionary layer in two minutes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "lfll/core/list.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+
+int main() {
+    // --- 1. The raw lock-free list: cursors, arbitrary-position edits ---
+    lfll::valois_list<std::string> list(64);
+    lfll::valois_list<std::string>::cursor c(list);
+
+    // A cursor starts at the first position; insert() places the new item
+    // immediately before the cursor's current target.
+    list.insert(c, "world");
+    list.first(c);
+    list.insert(c, "hello");
+
+    std::printf("list contents:");
+    for (list.first(c); !c.at_end(); list.next(c)) {
+        std::printf(" %s", (*c).c_str());
+    }
+    std::printf("\n");
+
+    // Interior deletion through the same cursor API. try_delete fails
+    // (returning false) if a concurrent operation restructured the
+    // neighbourhood — callers revalidate with update() and retry.
+    list.first(c);
+    if (list.try_delete(c)) {
+        list.update(c);
+        std::printf("after deleting the first item, cursor sees: %s\n", (*c).c_str());
+    }
+    c.reset();
+
+    // --- 2. The dictionary built on it (paper §4.1) ---------------------
+    lfll::sorted_list_map<int, std::string> dict(256);
+    dict.insert(3, "three");
+    dict.insert(1, "one");
+    dict.insert(2, "two");
+    dict.erase(2);
+
+    std::printf("dictionary (sorted):");
+    dict.for_each([](int k, const std::string& v) { std::printf(" %d=%s", k, v.c_str()); });
+    std::printf("\n");
+
+    if (auto v = dict.find(3)) {
+        std::printf("find(3) -> %s\n", v->c_str());
+    }
+    std::printf("find(2) -> %s\n", dict.find(2) ? "present" : "absent");
+    return 0;
+}

@@ -1,0 +1,77 @@
+// Priority queue (ordered multiset) over the Valois list.
+//
+// The paper's §2 cites Huang & Weihl's concurrent priority queues as the
+// context for its backoff remark; here the general list gives us one
+// directly: keep items sorted by priority — duplicates allowed, FIFO
+// within a priority class (new items go after existing equals) — and pop
+// from the front. Unlike the §4.1 dictionary there is no uniqueness
+// check, so push never needs a pre-scan for its own key.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "lfll/core/list.hpp"
+
+namespace lfll {
+
+template <typename Priority, typename T, typename Compare = std::less<Priority>>
+class lf_priority_queue {
+public:
+    using entry = std::pair<Priority, T>;
+    using list_type = valois_list<entry>;
+    using cursor = typename list_type::cursor;
+
+    explicit lf_priority_queue(std::size_t initial_capacity = 1024, Compare cmp = Compare{})
+        : list_(initial_capacity), cmp_(cmp) {}
+
+    void push(Priority prio, T value) {
+        typename list_type::node* q = list_.make_cell(entry{prio, std::move(value)});
+        typename list_type::node* a = list_.make_aux();
+        cursor c(list_);
+        for (;;) {
+            // First position whose priority sorts strictly after ours:
+            // equal priorities are passed, giving FIFO within a class.
+            while (!c.at_end() && !cmp_(prio, (*c).first)) list_.next(c);
+            if (list_.try_insert(c, q, a)) break;
+            list_.update(c);
+        }
+        list_.release_node(q);
+        list_.release_node(a);
+    }
+
+    /// Removes and returns the highest-priority (front) entry.
+    std::optional<entry> pop() {
+        cursor c(list_);
+        for (;;) {
+            list_.first(c);
+            if (c.at_end()) return std::nullopt;
+            entry out = *c;
+            if (list_.try_delete(c)) return out;
+        }
+    }
+
+    /// Reads the front entry without removing it (a snapshot: it may be
+    /// popped by someone else immediately after).
+    std::optional<entry> peek() {
+        cursor c(list_);
+        if (c.at_end()) return std::nullopt;
+        return *c;
+    }
+
+    bool empty() {
+        cursor c(list_);
+        return c.at_end();
+    }
+
+    std::size_t size_slow() const { return list_.size_slow(); }
+    list_type& list() noexcept { return list_; }
+
+private:
+    list_type list_;
+    Compare cmp_;
+};
+
+}  // namespace lfll

@@ -1,0 +1,68 @@
+// FIFO queue adapter over the Valois list.
+//
+// Valois's queue paper [27] builds a dedicated lock-free FIFO; here we
+// get one "for free" from the general list by enqueuing before the
+// end-of-list position and dequeuing at the first position — the §1
+// "building block" claim made concrete. A dedicated queue keeps a tail
+// pointer; we pay an O(n) walk to the end instead, so this adapter is the
+// simple-but-slower corner of that trade-off (enqueue cost grows with
+// queue length; bench users should prefer a dedicated queue for deep
+// queues).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "lfll/core/list.hpp"
+
+namespace lfll {
+
+template <typename T>
+class lf_queue {
+public:
+    using list_type = valois_list<T>;
+    using cursor = typename list_type::cursor;
+
+    explicit lf_queue(std::size_t initial_capacity = 1024) : list_(initial_capacity) {}
+
+    void enqueue(T value) {
+        cursor c(list_);
+        typename list_type::node* q = list_.make_cell(std::move(value));
+        typename list_type::node* a = list_.make_aux();
+        for (;;) {
+            // Walk to the end-of-list position and insert there. A race
+            // (someone else enqueued behind us) invalidates the cursor and
+            // try_insert fails; update() re-validates and we walk on.
+            while (!c.at_end()) list_.next(c);
+            if (list_.try_insert(c, q, a)) break;
+            list_.update(c);
+        }
+        list_.release_node(q);
+        list_.release_node(a);
+    }
+
+    /// Dequeues the oldest element; empty optional if the queue is empty.
+    std::optional<T> dequeue() {
+        cursor c(list_);
+        for (;;) {
+            list_.first(c);
+            if (c.at_end()) return std::nullopt;
+            T out = *c;
+            if (list_.try_delete(c)) return out;
+        }
+    }
+
+    bool empty() {
+        cursor c(list_);
+        return c.at_end();
+    }
+
+    std::size_t size_slow() const { return list_.size_slow(); }
+    list_type& list() noexcept { return list_; }
+
+private:
+    list_type list_;
+};
+
+}  // namespace lfll

@@ -1,0 +1,68 @@
+// LIFO stack adapter over the Valois list.
+//
+// §1: "A linked list is also useful as a building block for other
+// concurrent objects." The dictionary (§4) is the paper's worked example;
+// these adapters show the degenerate endpoint disciplines: a stack is the
+// list mutated only at its first position.
+//
+// Both operations retry through cursor revalidation exactly like the
+// dictionary's Figs. 12-13 loops, so they inherit the list's non-blocking
+// progress guarantee.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "lfll/core/list.hpp"
+
+namespace lfll {
+
+template <typename T>
+class lf_stack {
+public:
+    using list_type = valois_list<T>;
+    using cursor = typename list_type::cursor;
+
+    explicit lf_stack(std::size_t initial_capacity = 1024) : list_(initial_capacity) {}
+
+    void push(T value) {
+        cursor c(list_);
+        typename list_type::node* q = list_.make_cell(std::move(value));
+        typename list_type::node* a = list_.make_aux();
+        for (;;) {
+            list_.first(c);
+            if (list_.try_insert(c, q, a)) break;
+        }
+        list_.release_node(q);
+        list_.release_node(a);
+    }
+
+    /// Pops the most recently pushed element; empty optional if the stack
+    /// is empty (linearized at the failed emptiness check).
+    std::optional<T> pop() {
+        cursor c(list_);
+        for (;;) {
+            list_.first(c);
+            if (c.at_end()) return std::nullopt;
+            // Copy before deleting: the value stays readable after the
+            // delete (cell persistence), but we want the pre-delete value
+            // only if OUR delete is the one that removed it.
+            T out = *c;
+            if (list_.try_delete(c)) return out;
+        }
+    }
+
+    bool empty() {
+        cursor c(list_);
+        return c.at_end();
+    }
+
+    std::size_t size_slow() const { return list_.size_slow(); }
+    list_type& list() noexcept { return list_; }
+
+private:
+    list_type list_;
+};
+
+}  // namespace lfll

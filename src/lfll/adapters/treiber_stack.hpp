@@ -1,0 +1,105 @@
+// Dedicated Treiber-style LIFO stack on the counted-reference pool.
+//
+// The paper's own free list (Figs. 17-18) IS this structure — "the list
+// acts as a stack" (§5.2) — managing free cells. This adapter exposes the
+// same algorithm as a general-purpose container: push = CAS the head to
+// the new node; pop = SafeRead the head, CAS it to head->next. The
+// SafeRead reference is what makes the pop's CAS ABA-proof (§5.1): the
+// popped node cannot be recycled and re-pushed while we hold it, so
+// head == q implies q's next field is still meaningful.
+//
+// Contrast with lf_stack (the generic-list adapter): one CAS per op here
+// vs. the list's cell+aux insertion, at the cost of no interior access.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "lfll/core/node.hpp"
+#include "lfll/memory/node_pool.hpp"
+#include "lfll/primitives/backoff.hpp"
+
+namespace lfll {
+
+template <typename T>
+class treiber_stack {
+public:
+    using node = list_node<T>;
+
+    explicit treiber_stack(std::size_t initial_capacity = 1024)
+        : pool_(initial_capacity) {}
+
+    ~treiber_stack() {
+        while (pop().has_value()) {
+        }
+    }
+
+    treiber_stack(const treiber_stack&) = delete;
+    treiber_stack& operator=(const treiber_stack&) = delete;
+
+    void push(T value) {
+        node* q = pool_.alloc();
+        q->construct_cell(std::move(value));
+        backoff bo;
+        node* head = head_.load(std::memory_order_acquire);
+        for (;;) {
+            // The link from q->next to the old head takes over the old
+            // head's head_-reference (the reference moves with the CAS,
+            // like the free list's push), so no count adjustment is
+            // needed for `head`; q itself needs one for head_.
+            q->next.store(head, std::memory_order_relaxed);
+            pool_.add_ref(q);
+            if (head_.compare_exchange_weak(head, q, std::memory_order_seq_cst,
+                                            std::memory_order_acquire)) {
+                pool_.release(q);  // our private alloc reference
+                return;
+            }
+            pool_.release(q);  // undo; retry with the refreshed head
+            bo();
+        }
+    }
+
+    std::optional<T> pop() {
+        backoff bo;
+        for (;;) {
+            node* q = pool_.safe_read(head_);
+            if (q == nullptr) return std::nullopt;
+            node* next = q->next.load(std::memory_order_acquire);
+            node* expected = q;
+            if (head_.compare_exchange_strong(expected, next, std::memory_order_seq_cst,
+                                              std::memory_order_acquire)) {
+                // q->next keeps its counted link to `next` until q's
+                // reclamation cascade drops it (cell persistence), so
+                // head_ must take its own reference. Safe: `next` is
+                // pinned by that very link while we pin q.
+                pool_.add_ref(next);   // head_'s new reference
+                pool_.release(q);      // head_'s old reference to q
+                T out = std::move(q->value());
+                pool_.release(q);      // our SafeRead reference
+                return out;
+            }
+            pool_.release(q);
+            bo();
+        }
+    }
+
+    bool empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
+
+    std::size_t size_slow() const {
+        std::size_t n = 0;
+        for (const node* p = head_.load(std::memory_order_acquire); p != nullptr;
+             p = p->next.load(std::memory_order_acquire)) {
+            ++n;
+        }
+        return n;
+    }
+
+    node_pool<node>& pool() noexcept { return pool_; }
+
+private:
+    node_pool<node> pool_;
+    alignas(cacheline_size) std::atomic<node*> head_{nullptr};
+};
+
+}  // namespace lfll

@@ -1,0 +1,144 @@
+// Valois's dedicated lock-free FIFO queue (reference [27]: "Implementing
+// lock-free queues", PDCS 1994) — the companion structure the paper cites
+// for its memory-management scheme.
+//
+// Unlike lf_queue (the generic-list adapter, O(n) enqueue), this is the
+// real queue algorithm: a dummy-headed singly-linked list with a lagging
+// tail pointer.
+//   * enqueue: link the new node after the last node — walk forward from
+//     `tail` CASing next-null -> node — then swing `tail` (single
+//     attempt; lag is fine, later enqueuers walk past it).
+//   * dequeue: swing `head` from the current dummy to its successor; the
+//     successor's value is returned and it becomes the new dummy.
+// Both use the same counted-link discipline as the list (§5 SafeRead /
+// Release through the shared node_pool), which is precisely how [27]
+// solves the queue's ABA problem.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "lfll/core/node.hpp"
+#include "lfll/memory/node_pool.hpp"
+#include "lfll/primitives/backoff.hpp"
+
+namespace lfll {
+
+template <typename T>
+class valois_queue {
+public:
+    using node = list_node<T>;
+
+    explicit valois_queue(std::size_t initial_capacity = 1024)
+        : pool_(initial_capacity + 1) {
+        node* dummy = pool_.alloc();  // starts as an aux node: no payload
+        // head_ and tail_ both reference the dummy: its alloc reference
+        // covers head_; tail_ needs its own.
+        head_ = dummy;
+        tail_ = pool_.add_ref(dummy);
+    }
+
+    /// Quiescent teardown: walk off remaining nodes.
+    ~valois_queue() {
+        while (dequeue().has_value()) {
+        }
+        node* h = head_.load(std::memory_order_relaxed);
+        pool_.release(tail_.load(std::memory_order_relaxed));
+        pool_.release(h);
+    }
+
+    valois_queue(const valois_queue&) = delete;
+    valois_queue& operator=(const valois_queue&) = delete;
+
+    void enqueue(T value) {
+        node* q = pool_.alloc();
+        q->construct_cell(std::move(value));
+        backoff bo;
+        node* p = pool_.safe_read(tail_);
+        for (;;) {
+            // Try to link q after p; on failure advance p to its
+            // successor (we lost to another enqueuer).
+            node* expected = nullptr;
+            pool_.add_ref(q);  // the prospective link's reference
+            if (p->next.compare_exchange_strong(expected, q, std::memory_order_seq_cst,
+                                                std::memory_order_acquire)) {
+                break;
+            }
+            pool_.release(q);  // undo the speculative link reference
+            node* succ = pool_.safe_read(p->next);
+            pool_.release(p);
+            p = succ;
+            bo();
+        }
+        // Swing the lagging tail (best effort, one attempt): q gains the
+        // tail_ reference; the displaced node loses it.
+        pool_.add_ref(q);
+        node* old_tail = p;  // not necessarily the current tail_, that's fine
+        if (tail_.compare_exchange_strong(old_tail, q, std::memory_order_seq_cst,
+                                          std::memory_order_acquire)) {
+            pool_.release(p);  // tail_'s reference to the old node
+        } else {
+            pool_.release(q);  // someone else advanced it further
+        }
+        pool_.release(p);  // our traversal reference
+        pool_.release(q);  // our private reference from alloc
+    }
+
+    std::optional<T> dequeue() {
+        backoff bo;
+        for (;;) {
+            node* h = pool_.safe_read(head_);
+            node* first = pool_.safe_read(h->next);
+            if (first == nullptr) {
+                pool_.release(h);
+                return std::nullopt;  // empty (linearizes at the null read)
+            }
+            // first gains the head_ root reference (speculatively).
+            pool_.add_ref(first);
+            node* expected = h;
+            if (head_.compare_exchange_strong(expected, first, std::memory_order_seq_cst,
+                                              std::memory_order_acquire)) {
+                T out = std::move(first->value());
+                pool_.release(h);      // head_'s reference to the old dummy
+                pool_.release(h);      // our traversal reference
+                pool_.release(first);  // our traversal reference
+                // first remains in the structure as the new dummy; its
+                // payload has been moved out but stays constructed until
+                // the node is reclaimed (cell persistence, §2.2).
+                return out;
+            }
+            pool_.release(first);  // undo speculation
+            pool_.release(first);  // traversal reference
+            pool_.release(h);
+            bo();
+        }
+    }
+
+    /// Heuristic under concurrency (unreferenced snapshot); exact when
+    /// quiescent. Dequeue itself re-checks emptiness safely.
+    bool empty() const {
+        const node* h = head_.load(std::memory_order_acquire);
+        return h->next.load(std::memory_order_acquire) == nullptr;
+    }
+
+    /// Quiescent-only length (walks the chain).
+    std::size_t size_slow() const {
+        std::size_t n = 0;
+        const node* p = head_.load(std::memory_order_acquire);
+        for (p = p->next.load(std::memory_order_acquire); p != nullptr;
+             p = p->next.load(std::memory_order_acquire)) {
+            ++n;
+        }
+        return n;
+    }
+
+    node_pool<node>& pool() noexcept { return pool_; }
+
+private:
+    node_pool<node> pool_;
+    alignas(cacheline_size) std::atomic<node*> head_{nullptr};
+    alignas(cacheline_size) std::atomic<node*> tail_{nullptr};
+};
+
+}  // namespace lfll

@@ -1,0 +1,94 @@
+// Coarse-grained locked sorted list: one lock around a plain sequential
+// list. This is the E1 baseline family — templated over the lock type so
+// the benchmark sweeps TAS / TTAS / ticket / MCS / std::mutex with the
+// identical data structure.
+//
+// The sequential list underneath deliberately mirrors the Valois layout
+// (heap cells, singly linked, sorted, dummy-free) so the comparison
+// isolates synchronization cost, not data-structure shape.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "lfll/primitives/spinlock.hpp"
+
+namespace lfll {
+
+template <typename Key, typename Value, typename Lock = std::mutex,
+          typename Compare = std::less<Key>>
+class coarse_list_map {
+public:
+    explicit coarse_list_map(Compare cmp = Compare{}) : cmp_(cmp) {}
+
+    ~coarse_list_map() {
+        node* p = head_;
+        while (p != nullptr) {
+            node* next = p->next;
+            delete p;
+            p = next;
+        }
+    }
+
+    coarse_list_map(const coarse_list_map&) = delete;
+    coarse_list_map& operator=(const coarse_list_map&) = delete;
+
+    bool insert(const Key& key, Value value) {
+        std::lock_guard guard(lock_);
+        node** link = find_link(key);
+        if (*link != nullptr && equal((*link)->key, key)) return false;
+        *link = new node{key, std::move(value), *link};
+        size_++;
+        return true;
+    }
+
+    bool erase(const Key& key) {
+        std::lock_guard guard(lock_);
+        node** link = find_link(key);
+        if (*link == nullptr || !equal((*link)->key, key)) return false;
+        node* victim = *link;
+        *link = victim->next;
+        delete victim;
+        size_--;
+        return true;
+    }
+
+    std::optional<Value> find(const Key& key) {
+        std::lock_guard guard(lock_);
+        node** link = find_link(key);
+        if (*link == nullptr || !equal((*link)->key, key)) return std::nullopt;
+        return (*link)->value;
+    }
+
+    bool contains(const Key& key) { return find(key).has_value(); }
+
+    std::size_t size() {
+        std::lock_guard guard(lock_);
+        return size_;
+    }
+
+private:
+    struct node {
+        Key key;
+        Value value;
+        node* next;
+    };
+
+    bool equal(const Key& a, const Key& b) const { return !cmp_(a, b) && !cmp_(b, a); }
+
+    /// Pointer to the link that points at the first node with key >= key.
+    node** find_link(const Key& key) {
+        node** link = &head_;
+        while (*link != nullptr && cmp_((*link)->key, key)) link = &(*link)->next;
+        return link;
+    }
+
+    Lock lock_;
+    node* head_ = nullptr;
+    std::size_t size_ = 0;
+    Compare cmp_;
+};
+
+}  // namespace lfll

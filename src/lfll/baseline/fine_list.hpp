@@ -1,0 +1,120 @@
+// Fine-grained locked sorted list: hand-over-hand (lock-coupling)
+// traversal. The strongest mutual-exclusion list baseline for E1 —
+// concurrent operations on disjoint regions proceed in parallel, but every
+// traversal still pays two lock transfers per node, and a stalled holder
+// still blocks its neighbourhood (the paper's core argument, §1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+
+#include "lfll/primitives/spinlock.hpp"
+
+namespace lfll {
+
+template <typename Key, typename Value, typename Lock = ttas_lock,
+          typename Compare = std::less<Key>>
+class fine_list_map {
+public:
+    explicit fine_list_map(Compare cmp = Compare{}) : cmp_(cmp) {
+        head_ = new node{};  // sentinel simplifies coupling at the front
+    }
+
+    ~fine_list_map() {
+        node* p = head_;
+        while (p != nullptr) {
+            node* next = p->next;
+            delete p;
+            p = next;
+        }
+    }
+
+    fine_list_map(const fine_list_map&) = delete;
+    fine_list_map& operator=(const fine_list_map&) = delete;
+
+    bool insert(const Key& key, Value value) {
+        node* prev = locate(key);  // returns with prev (and prev->next) locked
+        node* cur = prev->next;
+        if (cur != nullptr && equal(cur->key, key)) {
+            unlock_pair(prev, cur);
+            return false;
+        }
+        node* fresh = new node{};
+        fresh->key = key;
+        fresh->value = std::move(value);
+        fresh->next = cur;
+        prev->next = fresh;
+        unlock_pair(prev, cur);
+        return true;
+    }
+
+    bool erase(const Key& key) {
+        node* prev = locate(key);
+        node* cur = prev->next;
+        if (cur == nullptr || !equal(cur->key, key)) {
+            unlock_pair(prev, cur);
+            return false;
+        }
+        prev->next = cur->next;
+        prev->lock.unlock();
+        cur->lock.unlock();
+        delete cur;  // exclusive: we held its lock and unlinked it
+        return true;
+    }
+
+    std::optional<Value> find(const Key& key) {
+        node* prev = locate(key);
+        node* cur = prev->next;
+        std::optional<Value> out;
+        if (cur != nullptr && equal(cur->key, key)) out = cur->value;
+        unlock_pair(prev, cur);
+        return out;
+    }
+
+    bool contains(const Key& key) { return find(key).has_value(); }
+
+    std::size_t size_slow() const {
+        std::size_t n = 0;
+        for (node* p = head_->next; p != nullptr; p = p->next) ++n;
+        return n;
+    }
+
+private:
+    struct node {
+        Key key{};
+        Value value{};
+        node* next = nullptr;
+        Lock lock;
+    };
+
+    bool equal(const Key& a, const Key& b) const { return !cmp_(a, b) && !cmp_(b, a); }
+
+    /// Hand-over-hand search: on return, prev->lock and (if non-null)
+    /// prev->next->lock are both held, and prev->next is the first node
+    /// with key >= `key`.
+    node* locate(const Key& key) {
+        node* prev = head_;
+        prev->lock.lock();
+        node* cur = prev->next;
+        if (cur != nullptr) cur->lock.lock();
+        while (cur != nullptr && cmp_(cur->key, key)) {
+            node* next = cur->next;
+            if (next != nullptr) next->lock.lock();
+            prev->lock.unlock();
+            prev = cur;
+            cur = next;
+        }
+        return prev;
+    }
+
+    void unlock_pair(node* prev, node* cur) {
+        prev->lock.unlock();
+        if (cur != nullptr) cur->lock.unlock();
+    }
+
+    node* head_;
+    Compare cmp_;
+};
+
+}  // namespace lfll

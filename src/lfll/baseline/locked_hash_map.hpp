@@ -1,0 +1,52 @@
+// Conventional locked hash table: fixed buckets of coarse-locked sorted
+// lists. The mutual-exclusion counterpart of lfll::hash_map for E4.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lfll/baseline/coarse_list.hpp"
+
+namespace lfll {
+
+template <typename Key, typename Value, typename Lock = ttas_lock,
+          typename Hash = std::hash<Key>, typename Compare = std::less<Key>>
+class locked_hash_map {
+public:
+    using bucket_type = coarse_list_map<Key, Value, Lock, Compare>;
+
+    explicit locked_hash_map(std::size_t buckets = 256, Hash hash = Hash{}) : hash_(hash) {
+        std::size_t n = 1;
+        while (n < buckets) n <<= 1;
+        mask_ = n - 1;
+        buckets_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) buckets_.push_back(std::make_unique<bucket_type>());
+    }
+
+    bool insert(const Key& key, Value value) {
+        return bucket(key).insert(key, std::move(value));
+    }
+    bool erase(const Key& key) { return bucket(key).erase(key); }
+    std::optional<Value> find(const Key& key) { return bucket(key).find(key); }
+    bool contains(const Key& key) { return bucket(key).contains(key); }
+
+    std::size_t size() {
+        std::size_t total = 0;
+        for (auto& b : buckets_) total += b->size();
+        return total;
+    }
+
+    std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+private:
+    bucket_type& bucket(const Key& key) { return *buckets_[hash_(key) & mask_]; }
+
+    Hash hash_;
+    std::size_t mask_ = 0;
+    std::vector<std::unique_ptr<bucket_type>> buckets_;
+};
+
+}  // namespace lfll

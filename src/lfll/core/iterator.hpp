@@ -1,0 +1,78 @@
+// STL-compatible input-iterator facade over cursors.
+//
+// Lets range-for and <algorithm> consume a live list:
+//
+//     for (const auto& v : lfll::range(list)) ...
+//
+// Iteration is concurrent-safe with the usual cursor semantics: each
+// step observes a linearizable snapshot of one position; cells deleted
+// mid-iteration are skipped or (if already visited) simply history, and
+// the iterator's cursor reference keeps its current cell alive. This is
+// an *input* iterator: single pass, copies share position state only at
+// the moment of copy.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "lfll/core/list.hpp"
+
+namespace lfll {
+
+template <typename T>
+class list_iterator {
+public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    list_iterator() = default;  // end sentinel
+
+    explicit list_iterator(valois_list<T>& list) : cursor_(list) {
+        if (cursor_.at_end()) cursor_.reset();
+    }
+
+    reference operator*() const { return *cursor_; }
+    pointer operator->() const { return &*cursor_; }
+
+    list_iterator& operator++() {
+        cursor_.list()->next(cursor_);
+        if (cursor_.at_end()) cursor_.reset();
+        return *this;
+    }
+
+    void operator++(int) { ++*this; }  // input iterator: no usable copy
+
+    /// Iterators compare equal iff both are the end sentinel, or both sit
+    /// on the same cell.
+    friend bool operator==(const list_iterator& a, const list_iterator& b) {
+        return a.cursor_.target() == b.cursor_.target();
+    }
+    friend bool operator!=(const list_iterator& a, const list_iterator& b) {
+        return !(a == b);
+    }
+
+private:
+    typename valois_list<T>::cursor cursor_;
+};
+
+/// Range adaptor: `for (auto& v : lfll::range(list))`.
+template <typename T>
+class list_range {
+public:
+    explicit list_range(valois_list<T>& list) : list_(&list) {}
+    list_iterator<T> begin() const { return list_iterator<T>(*list_); }
+    list_iterator<T> end() const { return list_iterator<T>(); }
+
+private:
+    valois_list<T>* list_;
+};
+
+template <typename T>
+list_range<T> range(valois_list<T>& list) {
+    return list_range<T>(list);
+}
+
+}  // namespace lfll

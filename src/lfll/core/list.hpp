@@ -1,0 +1,418 @@
+// The Valois lock-free singly-linked list (§3).
+//
+// Structure invariants (checked by core/audit.hpp):
+//   * The list runs First(dummy) -> aux -> ... -> aux -> Last(dummy).
+//   * Every normal cell has an auxiliary node as predecessor and successor.
+//   * Chains of adjacent auxiliary nodes may exist transiently, but only
+//     while some TryDelete is in progress (§3's theorem); Update and
+//     TryDelete compact them.
+//
+// All mutation is by single-word CAS on `next` fields, with the counted-
+// link discipline described in memory/node_pool.hpp. The operations map
+// 1:1 onto the paper's figures:
+//   first()      — Fig. 6        try_insert() — Fig. 9
+//   next()       — Fig. 7        try_delete() — Fig. 10
+//   update()     — Fig. 5
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "lfll/core/node.hpp"
+#include "lfll/memory/node_pool.hpp"
+#include "lfll/primitives/instrument.hpp"
+
+namespace lfll {
+
+template <typename T>
+class valois_list {
+public:
+    using node = list_node<T>;
+    using pool_type = node_pool<node>;
+
+    class cursor;
+
+    explicit valois_list(std::size_t initial_capacity = 1024)
+        : owned_pool_(std::make_unique<pool_type>(initial_capacity + 3)),
+          pool_(owned_pool_.get()) {
+        init_dummies();
+    }
+
+    /// Builds a list on a pool owned elsewhere. Several lists may share
+    /// one pool — required when payloads hold counted links across lists
+    /// (the skip list's levels) — and the pool must outlive them all.
+    explicit valois_list(pool_type& shared_pool) : pool_(&shared_pool) { init_dummies(); }
+
+private:
+    void init_dummies() {
+        // Fig. 4: an empty list is First -> aux -> Last.
+        head_ = pool_->alloc();
+        head_->kind.store(node_kind::head, std::memory_order_relaxed);
+        tail_ = pool_->alloc();
+        tail_->kind.store(node_kind::tail, std::memory_order_relaxed);
+        node* aux = pool_->alloc();
+        aux->kind.store(node_kind::aux, std::memory_order_relaxed);
+        // Wire head -> aux -> tail. Link accounting: head_'s and tail_'s
+        // root pointers keep the private references alloc() handed us; the
+        // head->aux link consumes aux's private reference; the aux->tail
+        // link is a second reference on tail and must be acquired.
+        aux->next.store(pool_->add_ref(tail_), std::memory_order_relaxed);
+        head_->next.store(aux, std::memory_order_relaxed);
+    }
+
+public:
+    /// Tears the chain down through the normal reclamation cascade so
+    /// payload destructors run and, with a shared pool, the nodes return
+    /// for other lists to reuse. Requires quiescence and no outstanding
+    /// cursors (cursor references would — correctly — keep nodes alive,
+    /// but the cursor would then outlive its list, which is UB by
+    /// contract). Runs before member destruction, so the pool (owned or
+    /// not) is still alive.
+    ~valois_list() {
+        if (head_ != nullptr) {
+            node* first_aux = head_->next.exchange(nullptr, std::memory_order_acq_rel);
+            pool_->release(first_aux);  // cascades down the chain
+            pool_->release(head_);
+            pool_->release(tail_);
+        }
+    }
+
+    valois_list(const valois_list&) = delete;
+    valois_list& operator=(const valois_list&) = delete;
+
+    /// A cursor is the paper's (pre_cell, pre_aux, target) triple. It owns
+    /// one counted reference on each non-null pointer, so the nodes it
+    /// points at — even deleted ones — cannot be recycled under it.
+    class cursor {
+    public:
+        cursor() = default;
+        explicit cursor(valois_list& l) : list_(&l) { l.first(*this); }
+
+        cursor(const cursor& o) : list_(o.list_) {
+            pre_cell_ = add_ref(o.pre_cell_);
+            pre_aux_ = add_ref(o.pre_aux_);
+            target_ = add_ref(o.target_);
+        }
+
+        cursor& operator=(const cursor& o) {
+            if (this == &o) return *this;
+            cursor tmp(o);
+            swap(tmp);
+            return *this;
+        }
+
+        cursor(cursor&& o) noexcept { swap(o); }
+        cursor& operator=(cursor&& o) noexcept {
+            if (this != &o) {
+                reset();
+                swap(o);
+            }
+            return *this;
+        }
+
+        ~cursor() { reset(); }
+
+        /// Releases all references; cursor becomes detached.
+        void reset() noexcept {
+            if (list_ == nullptr) return;
+            list_->pool_->release(pre_cell_);
+            list_->pool_->release(pre_aux_);
+            list_->pool_->release(target_);
+            pre_cell_ = pre_aux_ = target_ = nullptr;
+        }
+
+        /// True when the cursor is at the end-of-list position.
+        bool at_end() const noexcept { return target_ != nullptr && target_->is_tail(); }
+
+        /// True when the cursor still reflects the list structure
+        /// (pre_aux -> target). Invalidated by concurrent (or own)
+        /// insertions/deletions nearby; revalidate with list.update().
+        bool valid() const noexcept {
+            return target_ != nullptr &&
+                   pre_aux_ != nullptr &&
+                   pre_aux_->next.load(std::memory_order_acquire) == target_;
+        }
+
+        /// The visited item. Only callable when !at_end() and the target is
+        /// a normal cell (which it always is for a cursor produced by
+        /// first()/next()/update()).
+        T& operator*() const noexcept {
+            assert(target_ != nullptr && target_->is_cell());
+            return target_->value();
+        }
+
+        node* target() const noexcept { return target_; }
+        node* pre_aux() const noexcept { return pre_aux_; }
+        node* pre_cell() const noexcept { return pre_cell_; }
+        valois_list* list() const noexcept { return list_; }
+
+        void swap(cursor& o) noexcept {
+            std::swap(list_, o.list_);
+            std::swap(pre_cell_, o.pre_cell_);
+            std::swap(pre_aux_, o.pre_aux_);
+            std::swap(target_, o.target_);
+        }
+
+    private:
+        friend class valois_list;
+
+        node* add_ref(node* p) const noexcept {
+            return list_ == nullptr ? nullptr : list_->pool_->add_ref(p);
+        }
+
+        valois_list* list_ = nullptr;
+        node* pre_cell_ = nullptr;
+        node* pre_aux_ = nullptr;
+        node* target_ = nullptr;
+    };
+
+    // --- traversal (Figs. 5-7) -------------------------------------------
+
+    /// Fig. 6: positions c at the first item (or end-of-list if empty).
+    void first(cursor& c) {
+        c.reset();
+        c.list_ = this;
+        c.pre_cell_ = pool_->add_ref(head_);  // root pointer never changes
+        c.pre_aux_ = pool_->safe_read(head_->next);
+        c.target_ = nullptr;
+        update(c);
+    }
+
+    /// Fig. 7: advances c one position. Returns false at end-of-list.
+    bool next(cursor& c) {
+        assert(c.list_ == this && c.target_ != nullptr);
+        if (c.target_->is_tail()) return false;
+        pool_->release(c.pre_cell_);
+        c.pre_cell_ = pool_->add_ref(c.target_);
+        pool_->release(c.pre_aux_);
+        c.pre_aux_ = pool_->safe_read(c.target_->next);
+        update(c);
+        return true;
+    }
+
+    /// Fig. 5: makes c valid again, skipping (and best-effort compacting)
+    /// auxiliary-node chains. target ends on the next normal cell or Last.
+    void update(cursor& c) {
+        assert(c.list_ == this && c.pre_aux_ != nullptr);
+        if (c.pre_aux_->next.load(std::memory_order_acquire) == c.target_ &&
+            c.target_ != nullptr) {
+            return;  // already valid
+        }
+        auto& ctr = instrument::tls();
+        node* p = c.pre_aux_;  // we inherit the cursor's reference on p
+        node* n = pool_->safe_read(p->next);
+        pool_->release(c.target_);
+        c.target_ = nullptr;
+        while (n->is_aux()) {
+            ctr.aux_hops++;
+            // Compact the chain behind pre_cell. Best effort: failure just
+            // means someone else is restructuring here.
+            if (swing(c.pre_cell_->next, p, n)) ctr.aux_compactions++;
+            node* nn = pool_->safe_read(n->next);
+            pool_->release(p);
+            p = n;
+            n = nn;
+        }
+        c.pre_aux_ = p;
+        c.target_ = n;
+    }
+
+    // --- mutation (Figs. 9-10) -------------------------------------------
+
+    /// Allocates a cell node carrying `args...` and an auxiliary node, for
+    /// use with try_insert. The caller owns one reference on each and must
+    /// release them (release_node) when done — whether or not the pair was
+    /// successfully inserted (the list takes its own references via links).
+    template <typename... Args>
+    node* make_cell(Args&&... args) {
+        node* q = pool_->alloc();
+        q->construct_cell(std::forward<Args>(args)...);
+        return q;
+    }
+
+    node* make_aux() {
+        node* a = pool_->alloc();
+        a->kind.store(node_kind::aux, std::memory_order_release);
+        return a;
+    }
+
+    void release_node(node* p) noexcept { pool_->release(p); }
+
+    /// Fig. 9: inserts cell q followed by auxiliary node a at the position
+    /// before c's target. Requires c valid; returns false (leaving q and a
+    /// unlinked, reusable for a retry) if the CAS loses a race.
+    bool try_insert(cursor& c, node* q, node* a) {
+        assert(c.list_ == this && q->is_cell() && a->is_aux());
+        store_link(q->next, a);
+        store_link(a->next, c.target_);
+        if (swing(c.pre_aux_->next, c.target_, q)) return true;
+        instrument::tls().insert_retries++;
+        return false;
+    }
+
+    /// Convenience: retries try_insert (re-validating with update) until
+    /// the value is inserted at the cursor's (current) position.
+    void insert(cursor& c, T value) {
+        node* q = make_cell(std::move(value));
+        node* a = make_aux();
+        while (!try_insert(c, q, a)) update(c);
+        pool_->release(q);
+        pool_->release(a);
+        update(c);
+    }
+
+    /// Fig. 10: deletes c's target from the list. Returns false if the
+    /// cursor was invalid (structure changed); the cursor is left pointing
+    /// at the deleted cell on success — call update() to move on.
+    bool try_delete(cursor& c) {
+        assert(c.list_ == this && c.target_ != nullptr);
+        node* d = c.target_;
+        if (!d->is_cell()) return false;  // cannot delete the dummies
+        auto& ctr = instrument::tls();
+        // Unlink d: swing pre_aux's next from d to the aux after d.
+        node* n = pool_->safe_read(d->next);
+        if (!swing(c.pre_aux_->next, d, n)) {
+            pool_->release(n);
+            ctr.delete_retries++;
+            return false;
+        }
+        // Fig. 10 line 6: leave a trail for deleters of adjacent cells.
+        store_link(d->back_link, c.pre_cell_);
+
+        // Retreat to the first cell that has not itself been deleted.
+        node* p = pool_->add_ref(c.pre_cell_);
+        for (;;) {
+            node* bl = pool_->safe_read(p->back_link);
+            if (bl == nullptr) break;
+            pool_->release(p);
+            p = bl;
+        }
+        // s: current head of the auxiliary chain following p.
+        node* s = pool_->safe_read(p->next);
+        // Advance n to the last auxiliary node of the chain (lines 13-16).
+        for (;;) {
+            node* nn = pool_->safe_read(n->next);
+            if (nn->is_normal()) {
+                pool_->release(nn);
+                break;
+            }
+            pool_->release(n);
+            n = nn;
+        }
+        // Lines 17-21: swing p->next across the chain. Give up if p gets
+        // deleted or the chain grows past n — the deleter that caused
+        // either will finish the compaction (§3's progress argument).
+        for (;;) {
+            if (swing(p->next, s, n)) break;
+            pool_->release(s);
+            s = pool_->safe_read(p->next);
+            if (p->is_deleted()) break;
+            node* after = n->next.load(std::memory_order_acquire);
+            if (after == nullptr || !after->is_normal()) break;  // chain grew
+        }
+        pool_->release(p);
+        pool_->release(s);
+        pool_->release(n);
+        return true;
+    }
+
+    // --- introspection ----------------------------------------------------
+
+    node* head() const noexcept { return head_; }
+    node* tail() const noexcept { return tail_; }
+    pool_type& pool() noexcept { return *pool_; }
+    const pool_type& pool() const noexcept { return *pool_; }
+
+    /// Positions c immediately AFTER `start`, which must be a cell the
+    /// caller holds a counted reference on (it may be deleted — traversal
+    /// resumes on the live suffix, per cell persistence). Used by the skip
+    /// list to descend via `down` pointers without rescanning from First.
+    void seek(cursor& c, node* start) {
+        assert(start != nullptr);
+        c.reset();
+        c.list_ = this;
+        c.pre_cell_ = pool_->add_ref(start);
+        c.pre_aux_ = pool_->safe_read(start->next);
+        c.target_ = nullptr;
+        update(c);
+    }
+
+    /// Lightweight read-only traversal: visits each cell's payload in
+    /// list order until `visit` returns false. Holds one counted
+    /// reference at a time (the minimum for safety) instead of a full
+    /// cursor triple, making it ~2x cheaper per hop than cursor
+    /// iteration — use it for pure lookups; use cursors when the
+    /// position will be mutated. Fully concurrent-safe.
+    template <typename Visit>
+    void scan(Visit&& visit) {
+        node* p = pool_->safe_read(head_->next);  // first aux: never null
+        for (;;) {
+            node* n = pool_->safe_read(p->next);
+            pool_->release(p);
+            if (n == nullptr || n->is_tail()) {
+                pool_->release(n);
+                return;
+            }
+            if (n->is_cell()) {
+                instrument::tls().cells_traversed++;
+                if (!visit(static_cast<const T&>(n->value()))) {
+                    pool_->release(n);
+                    return;
+                }
+            } else {
+                instrument::tls().aux_hops++;
+            }
+            p = n;
+        }
+    }
+
+    /// Number of normal cells currently in the list. O(n); quiescent use.
+    std::size_t size_slow() const {
+        std::size_t count = 0;
+        for (node* p = head_->next.load(std::memory_order_acquire); p != nullptr && !p->is_tail();
+             p = p->next.load(std::memory_order_acquire)) {
+            if (p->is_cell()) ++count;
+        }
+        return count;
+    }
+
+    bool empty_slow() const { return size_slow() == 0; }
+
+private:
+    /// The counted-link CAS: swing `loc` from `expected` to `desired`,
+    /// transferring reference counts as described in node_pool.hpp.
+    bool swing(std::atomic<node*>& loc, node* expected, node* desired) {
+        auto& ctr = instrument::tls();
+        ctr.cas_attempts++;
+        pool_->add_ref(desired);  // the link's reference, speculative
+        testing_hooks::chaos_point();  // between speculation and CAS
+        node* e = expected;
+        if (loc.compare_exchange_strong(e, desired, std::memory_order_seq_cst,
+                                        std::memory_order_acquire)) {
+            pool_->release(expected);  // the dying link's reference
+            return true;
+        }
+        ctr.cas_failures++;
+        pool_->release(desired);  // undo speculation
+        return false;
+    }
+
+    /// Counted store to a location the caller exclusively owns (a private
+    /// node's field, or a once-only field like back_link after winning the
+    /// unlink CAS).
+    void store_link(std::atomic<node*>& loc, node* target) {
+        pool_->add_ref(target);
+        node* old = loc.exchange(target, std::memory_order_acq_rel);
+        pool_->release(old);
+    }
+
+    std::unique_ptr<pool_type> owned_pool_;  // null when the pool is shared
+    pool_type* pool_ = nullptr;
+    node* head_ = nullptr;
+    node* tail_ = nullptr;
+};
+
+}  // namespace lfll

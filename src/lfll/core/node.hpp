@@ -1,0 +1,98 @@
+// List node: one type for the paper's normal cells, auxiliary nodes, and
+// the First/Last dummy cells (§3, Fig. 4).
+//
+// The paper's auxiliary node "contains only a next field"; we nonetheless
+// use a single node type for all four kinds so that (a) every node flows
+// through the same fixed-size pool (§5.2: "free cells must all be of the
+// same size"), and (b) algorithms can ask "is this a normal cell?" of an
+// arbitrary successor, which TryDelete and Update need. The payload is
+// raw storage that is only constructed for kind == cell.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+#include "lfll/memory/ref_count.hpp"
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll {
+
+enum class node_kind : std::uint8_t {
+    aux = 0,    ///< auxiliary node: only `next` is meaningful
+    cell = 1,   ///< normal cell: carries a value, may be deleted
+    head = 2,   ///< the First dummy cell
+    tail = 3,   ///< the Last dummy cell
+};
+
+template <typename T>
+struct alignas(cacheline_size) list_node {
+    std::atomic<refct_t> refct{0};
+    std::atomic<list_node*> next{nullptr};
+    /// Set once (null -> predecessor cell) by the winning deleter of this
+    /// cell (Fig. 10 line 6); non-null implies "deleted from the list".
+    std::atomic<list_node*> back_link{nullptr};
+    /// Atomic because best-effort heuristics may read the kind of a node
+    /// that is being recycled; such reads only gate retries, never safety.
+    std::atomic<node_kind> kind{node_kind::aux};
+
+    alignas(T) unsigned char storage[sizeof(T)];
+
+    list_node() = default;
+    list_node(const list_node&) = delete;
+    list_node& operator=(const list_node&) = delete;
+
+    bool is_aux() const noexcept { return kind.load(std::memory_order_acquire) == node_kind::aux; }
+    bool is_cell() const noexcept { return kind.load(std::memory_order_acquire) == node_kind::cell; }
+    bool is_tail() const noexcept { return kind.load(std::memory_order_acquire) == node_kind::tail; }
+    /// "Normal cell" in the paper's sense: anything that is not auxiliary
+    /// (the dummies are cells too; Update's scan stops at Last).
+    bool is_normal() const noexcept { return !is_aux(); }
+    bool is_deleted() const noexcept { return back_link.load(std::memory_order_acquire) != nullptr; }
+
+    /// Payload access. Only valid for kind == cell; the value stays
+    /// readable after deletion until the node is reclaimed ("cell
+    /// persistence", §2.2), which the reference count guarantees cannot
+    /// happen while anyone still holds a reference.
+    T& value() noexcept { return *std::launder(reinterpret_cast<T*>(storage)); }
+    const T& value() const noexcept {
+        return *std::launder(reinterpret_cast<const T*>(storage));
+    }
+
+    /// Constructs the payload and marks this node a normal cell. The node
+    /// must be private to the caller (freshly allocated).
+    template <typename... Args>
+    void construct_cell(Args&&... args) {
+        ::new (static_cast<void*>(storage)) T(std::forward<Args>(args)...);
+        kind.store(node_kind::cell, std::memory_order_release);
+    }
+
+    // --- node_pool hooks -------------------------------------------------
+
+    /// Hands each counted outgoing link to the reclamation cascade. If the
+    /// payload type itself holds counted links into the same pool (e.g.
+    /// the skip list's `down` pointers), it exposes them by defining
+    /// `counted_links(sink)` and they are dropped here, while the payload
+    /// is still alive.
+    template <typename Sink>
+    void drop_links(Sink&& drop) noexcept {
+        drop(next.exchange(nullptr, std::memory_order_acq_rel));
+        drop(back_link.exchange(nullptr, std::memory_order_acq_rel));
+        if constexpr (requires(T& t) { t.counted_links(drop); }) {
+            if (kind.load(std::memory_order_acquire) == node_kind::cell) {
+                value().counted_links(drop);
+            }
+        }
+    }
+
+    /// Destroys the payload (if any) and resets the node for reuse.
+    void on_reclaim() noexcept {
+        if (kind.load(std::memory_order_acquire) == node_kind::cell) {
+            value().~T();
+        }
+        kind.store(node_kind::aux, std::memory_order_release);
+    }
+};
+
+}  // namespace lfll

@@ -1,0 +1,366 @@
+// Binary search tree with auxiliary nodes (§4.2).
+//
+// "Each cell in the tree has a left and right auxiliary node between
+//  itself and its subtrees (these auxiliary nodes are present even if the
+//  subtree is empty)."
+//
+// Find and Insert are implemented exactly as the paper describes: search
+// is the sequential BST walk over counted references; insert is a single
+// CAS swinging an empty auxiliary node's pointer from null to the new
+// cell (which is pre-wired with its own two auxiliary children).
+//
+// Deletion comes in two flavours:
+//  * erase() — tombstone (logical) deletion: fully non-blocking and safe
+//    under arbitrary concurrency. The cell is marked dead; a subsequent
+//    insert of the same key revives it with a single CAS. This is the
+//    default because the paper's physical deletion (below) relies on a
+//    transient aux->aux shunt that can force concurrent *structural*
+//    operations to wait on the deleter — the paper itself leaves its
+//    behaviour "unknown" (§4.2). Ablation A3 measures the difference.
+//  * erase_splice() — the paper's physical deletion, including the
+//    Fig. 14 two-children subtree move. Safe against concurrent
+//    *searches* (they follow the shunt chains); callers must serialize it
+//    against other structural mutations in the affected subtree.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <string>
+
+#include "lfll/core/node.hpp"
+#include "lfll/memory/node_pool.hpp"
+#include "lfll/primitives/instrument.hpp"
+
+namespace lfll {
+
+template <typename Key, typename Compare = std::less<Key>>
+class bst_set {
+public:
+    struct tree_node {
+        std::atomic<refct_t> refct{0};
+        /// aux: the single child pointer. cell: the LEFT auxiliary node.
+        /// (Doubles as the pool free-list link, like every pooled node.)
+        std::atomic<tree_node*> next{nullptr};
+        /// cell: the RIGHT auxiliary node. aux: unused.
+        std::atomic<tree_node*> right{nullptr};
+        std::atomic<node_kind> kind{node_kind::aux};
+        std::atomic<bool> dead{false};  ///< tombstone flag (cells only)
+        alignas(Key) unsigned char storage[sizeof(Key)];
+
+        bool is_aux() const noexcept {
+            return kind.load(std::memory_order_acquire) == node_kind::aux;
+        }
+        bool is_cell() const noexcept {
+            return kind.load(std::memory_order_acquire) == node_kind::cell;
+        }
+        Key& key() noexcept { return *std::launder(reinterpret_cast<Key*>(storage)); }
+        const Key& key() const noexcept {
+            return *std::launder(reinterpret_cast<const Key*>(storage));
+        }
+
+        template <typename Sink>
+        void drop_links(Sink&& drop) noexcept {
+            drop(next.exchange(nullptr, std::memory_order_acq_rel));
+            drop(right.exchange(nullptr, std::memory_order_acq_rel));
+        }
+
+        void on_reclaim() noexcept {
+            if (kind.load(std::memory_order_acquire) == node_kind::cell) key().~Key();
+            kind.store(node_kind::aux, std::memory_order_release);
+            dead.store(false, std::memory_order_release);
+        }
+    };
+
+    using pool_type = node_pool<tree_node>;
+
+    explicit bst_set(std::size_t initial_capacity = 1024, Compare cmp = Compare{})
+        : pool_(initial_capacity + 1), cmp_(cmp) {
+        root_aux_ = pool_.alloc();  // its alloc reference is the root reference
+    }
+
+    ~bst_set() = default;  // pool slabs own the memory
+
+    bst_set(const bst_set&) = delete;
+    bst_set& operator=(const bst_set&) = delete;
+
+    /// Adds `key`; false if (a live instance of) the key already exists.
+    bool insert(const Key& key) {
+        for (;;) {
+            tree_node* leaf = nullptr;
+            tree_node* found = search(key, &leaf);
+            if (found != nullptr) {
+                // Present — possibly as a tombstone we can revive.
+                bool was_dead = true;
+                const bool revived = found->dead.compare_exchange_strong(
+                    was_dead, false, std::memory_order_seq_cst, std::memory_order_acquire);
+                pool_.release(found);
+                pool_.release(leaf);
+                return revived;
+            }
+            // Build the cell with both auxiliary children pre-attached
+            // (their alloc references become the cell's counted links).
+            tree_node* q = pool_.alloc();
+            ::new (static_cast<void*>(q->storage)) Key(key);
+            q->kind.store(node_kind::cell, std::memory_order_release);
+            q->next.store(pool_.alloc(), std::memory_order_relaxed);
+            q->right.store(pool_.alloc(), std::memory_order_relaxed);
+            if (swing(leaf->next, nullptr, q)) {
+                pool_.release(leaf);
+                pool_.release(q);
+                return true;
+            }
+            instrument::tls().insert_retries++;
+            pool_.release(leaf);
+            pool_.release(q);  // cascade frees its two aux children
+        }
+    }
+
+    /// Tombstone deletion: marks the cell dead. False if absent/already dead.
+    bool erase(const Key& key) {
+        tree_node* found = search(key, nullptr);
+        if (found == nullptr) return false;
+        bool was_live = false;
+        const bool killed = found->dead.compare_exchange_strong(
+            was_live, true, std::memory_order_seq_cst, std::memory_order_acquire);
+        pool_.release(found);
+        if (!killed) instrument::tls().delete_retries++;
+        return killed;
+    }
+
+    bool contains(const Key& key) {
+        tree_node* found = search(key, nullptr);
+        if (found == nullptr) return false;
+        const bool live = !found->dead.load(std::memory_order_acquire);
+        pool_.release(found);
+        return live;
+    }
+
+    /// The paper's physical deletion (§4.2, Fig. 14). Concurrent searches
+    /// are safe; concurrent structural mutations in the affected subtree
+    /// are not — see the header comment. Returns false if absent.
+    bool erase_splice(const Key& key) {
+        // Locate the victim, keeping the auxiliary node that points at it.
+        tree_node* parent_aux = pool_.add_ref(root_aux_);
+        tree_node* v = nullptr;
+        for (;;) {
+            tree_node* n = pool_.safe_read(parent_aux->next);
+            if (n == nullptr) {
+                pool_.release(parent_aux);
+                return false;
+            }
+            if (n->is_aux()) {  // shunt chain from an earlier splice
+                pool_.release(parent_aux);
+                parent_aux = n;
+                continue;
+            }
+            if (equal(n->key(), key)) {
+                v = n;
+                break;
+            }
+            tree_node* child =
+                cmp_(key, n->key()) ? pool_.safe_read(n->next) : pool_.safe_read(n->right);
+            pool_.release(parent_aux);
+            pool_.release(n);
+            parent_aux = child;
+        }
+
+        tree_node* left_aux = pool_.safe_read(v->next);
+        tree_node* right_aux = pool_.safe_read(v->right);
+        const bool left_empty = left_aux->next.load(std::memory_order_acquire) == nullptr;
+        const bool right_empty = right_aux->next.load(std::memory_order_acquire) == nullptr;
+
+        if (!left_empty && !right_empty) {
+            // Fig. 14 step 1: hang v's left subtree below v's in-order
+            // successor (the leftmost cell of the right subtree), whose
+            // left child is empty.
+            tree_node* s_aux = find_leftmost_empty_aux(right_aux);
+            if (!swing(s_aux->next, nullptr, left_aux)) {
+                // Someone attached a cell there first; retry from scratch.
+                pool_.release(s_aux);
+                pool_.release(left_aux);
+                pool_.release(right_aux);
+                pool_.release(parent_aux);
+                pool_.release(v);
+                return erase_splice(key);
+            }
+            pool_.release(s_aux);
+            // v's left branch is now duplicated below the successor; v
+            // itself is removed via the right-subtree splice below.
+        } else if (right_empty && !left_empty) {
+            // Shunt searches entering the empty right branch back to the
+            // auxiliary node preceding v, then splice v out to the LEFT.
+            swing(right_aux->next, nullptr, parent_aux);
+            finish_splice(parent_aux, v, left_aux);
+            cleanup(parent_aux, v, left_aux, right_aux);
+            return true;
+        }
+        // Left branch empty (or both, or two-children after the move):
+        // shunt the empty left branch and splice v out to the RIGHT.
+        if (left_empty) swing(left_aux->next, nullptr, parent_aux);
+        finish_splice(parent_aux, v, right_aux);
+        cleanup(parent_aux, v, left_aux, right_aux);
+        return true;
+    }
+
+    std::size_t size_slow() const {
+        std::size_t n = 0;
+        const_cast<bst_set*>(this)->for_each([&](const Key&) { ++n; });
+        return n;
+    }
+
+    /// In-order traversal over live (non-tombstoned) keys. Quiescent use
+    /// (concurrent traversal is safe but the visit set is unspecified
+    /// during splice deletions).
+    template <typename F>
+    void for_each(F&& f) {
+        walk(root_aux_->next.load(std::memory_order_acquire), f);
+    }
+
+    /// Quiescent structural check: in-order keys strictly sorted, every
+    /// cell's children are auxiliary nodes. Returns an empty string or a
+    /// description of the violation.
+    std::string validate_slow() {
+        std::string err;
+        const Key* prev = nullptr;
+        validate(root_aux_->next.load(std::memory_order_acquire), prev, err, 0);
+        return err;
+    }
+
+    pool_type& pool() noexcept { return pool_; }
+
+private:
+    bool equal(const Key& a, const Key& b) const { return !cmp_(a, b) && !cmp_(b, a); }
+
+    /// Counted-link CAS, as in valois_list.
+    bool swing(std::atomic<tree_node*>& loc, tree_node* expected, tree_node* desired) {
+        auto& ctr = instrument::tls();
+        ctr.cas_attempts++;
+        pool_.add_ref(desired);
+        tree_node* e = expected;
+        if (loc.compare_exchange_strong(e, desired, std::memory_order_seq_cst,
+                                        std::memory_order_acquire)) {
+            pool_.release(expected);
+            return true;
+        }
+        ctr.cas_failures++;
+        pool_.release(desired);
+        return false;
+    }
+
+    /// Returns the cell with `key` (counted ref; may be tombstoned), or
+    /// null. When null and `out_leaf` is non-null, *out_leaf receives a
+    /// counted ref on the empty auxiliary node where the key belongs.
+    tree_node* search(const Key& key, tree_node** out_leaf) {
+        auto& ctr = instrument::tls();
+        tree_node* a = pool_.add_ref(root_aux_);
+        for (;;) {
+            tree_node* n = pool_.safe_read(a->next);
+            if (n == nullptr) {
+                if (out_leaf != nullptr) {
+                    *out_leaf = a;
+                } else {
+                    pool_.release(a);
+                }
+                return nullptr;
+            }
+            if (n->is_aux()) {  // splice shunt chain: follow it
+                ctr.aux_hops++;
+                pool_.release(a);
+                a = n;
+                continue;
+            }
+            ctr.cells_traversed++;
+            if (equal(n->key(), key)) {
+                pool_.release(a);
+                return n;
+            }
+            tree_node* child =
+                cmp_(key, n->key()) ? pool_.safe_read(n->next) : pool_.safe_read(n->right);
+            pool_.release(a);
+            pool_.release(n);
+            a = child;
+        }
+    }
+
+    /// Leftmost empty auxiliary node under `from` (an aux). Returns a
+    /// counted reference; releases nothing else it was given.
+    tree_node* find_leftmost_empty_aux(tree_node* from) {
+        tree_node* a = pool_.add_ref(from);
+        for (;;) {
+            tree_node* n = pool_.safe_read(a->next);
+            if (n == nullptr) return a;
+            pool_.release(a);
+            if (n->is_aux()) {
+                a = n;
+            } else {
+                a = pool_.safe_read(n->next);  // descend left
+                pool_.release(n);
+            }
+        }
+    }
+
+    /// Splice v out: parent_aux -> (v's surviving aux), then best-effort
+    /// compaction of the resulting aux -> aux chain.
+    void finish_splice(tree_node* parent_aux, tree_node* v, tree_node* surviving_aux) {
+        swing(parent_aux->next, v, surviving_aux);
+        // Best-effort compaction of the parent_aux -> surviving_aux chain:
+        // skip straight to the cell beyond it, or to empty if the whole
+        // branch is gone (otherwise empty aux chains would accumulate).
+        tree_node* beyond = surviving_aux->next.load(std::memory_order_acquire);
+        if (beyond == nullptr || beyond->is_cell()) {
+            if (swing(parent_aux->next, surviving_aux, beyond)) {
+                instrument::tls().aux_compactions++;
+            }
+        }
+    }
+
+    void cleanup(tree_node* parent_aux, tree_node* v, tree_node* left_aux,
+                 tree_node* right_aux) {
+        pool_.release(parent_aux);
+        pool_.release(v);
+        pool_.release(left_aux);
+        pool_.release(right_aux);
+    }
+
+    template <typename F>
+    void walk(tree_node* n, F& f) {
+        while (n != nullptr && n->is_aux()) n = n->next.load(std::memory_order_acquire);
+        if (n == nullptr) return;
+        walk(n->next.load(std::memory_order_acquire), f);
+        if (!n->dead.load(std::memory_order_acquire)) f(n->key());
+        walk(n->right.load(std::memory_order_acquire), f);
+    }
+
+    void validate(tree_node* n, const Key*& prev, std::string& err, int depth) {
+        if (!err.empty() || depth > 10000) return;
+        while (n != nullptr && n->is_aux()) n = n->next.load(std::memory_order_acquire);
+        if (n == nullptr) return;
+        if (!n->is_cell()) {
+            err = "non-cell reached as subtree root";
+            return;
+        }
+        tree_node* l = n->next.load(std::memory_order_acquire);
+        tree_node* r = n->right.load(std::memory_order_acquire);
+        if (l == nullptr || r == nullptr) {
+            err = "cell missing an auxiliary child";
+            return;
+        }
+        validate(l, prev, err, depth + 1);
+        if (!err.empty()) return;
+        if (prev != nullptr && !cmp_(*prev, n->key())) {
+            err = "in-order keys not strictly increasing";
+            return;
+        }
+        prev = &n->key();
+        validate(r, prev, err, depth + 1);
+    }
+
+    pool_type pool_;
+    tree_node* root_aux_ = nullptr;
+    Compare cmp_;
+};
+
+}  // namespace lfll

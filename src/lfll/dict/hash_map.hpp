@@ -1,0 +1,78 @@
+// Hash-table dictionary (§4.1): a fixed array of sorted-list buckets.
+//
+// "A straightforward extension of this implementation uses a hash table.
+//  In this case, if we assume that the hash function evenly distributes
+//  the operations across the lists, then we would expect the extra work
+//  done to be O(1)." — bench_e4_hash measures exactly that.
+//
+// The bucket count is fixed at construction (the paper has no resize; a
+// lock-free resize is a separate research problem). Each bucket is an
+// independent Valois list with its own node pool, so buckets never contend
+// on allocation either.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lfll/dict/sorted_list_map.hpp"
+
+namespace lfll {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Compare = std::less<Key>>
+class hash_map {
+public:
+    using bucket_type = sorted_list_map<Key, Value, Compare>;
+
+    /// `buckets` is rounded up to a power of two. `capacity_hint` sizes
+    /// the per-bucket node pools (expected elements / buckets).
+    explicit hash_map(std::size_t buckets = 256, std::size_t capacity_hint = 16,
+                      Hash hash = Hash{})
+        : hash_(hash) {
+        std::size_t n = 1;
+        while (n < buckets) n <<= 1;
+        mask_ = n - 1;
+        buckets_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            buckets_.push_back(std::make_unique<bucket_type>(capacity_hint));
+        }
+    }
+
+    bool insert(const Key& key, Value value) {
+        return bucket(key).insert(key, std::move(value));
+    }
+
+    bool erase(const Key& key) { return bucket(key).erase(key); }
+
+    std::optional<Value> find(const Key& key) { return bucket(key).find(key); }
+
+    bool contains(const Key& key) { return bucket(key).contains(key); }
+
+    /// Visits every (key, value); per-bucket sort order, arbitrary bucket
+    /// order. Concurrent-safe, like any cursor walk.
+    template <typename F>
+    void for_each(F&& f) {
+        for (auto& b : buckets_) b->for_each(f);
+    }
+
+    std::size_t size_slow() const {
+        std::size_t total = 0;
+        for (const auto& b : buckets_) total += b->size_slow();
+        return total;
+    }
+
+    std::size_t bucket_count() const noexcept { return buckets_.size(); }
+    bucket_type& bucket_at(std::size_t i) noexcept { return *buckets_[i]; }
+
+private:
+    bucket_type& bucket(const Key& key) { return *buckets_[hash_(key) & mask_]; }
+
+    Hash hash_;
+    std::size_t mask_ = 0;
+    std::vector<std::unique_ptr<bucket_type>> buckets_;
+};
+
+}  // namespace lfll

@@ -1,0 +1,274 @@
+// Lock-free skip list (§4.1): "a collection of k sorted singly-linked
+// lists, such that higher level lists contain a subset of the cells in
+// lower level lists. As in [23], insertions and deletions are performed
+// one level at a time, insertions starting with the bottom level and
+// working up, and deletions starting at the top and working down."
+//
+// Design notes (beyond the paper's sketch):
+//  * All levels share ONE node pool; a level-i cell's payload carries a
+//    counted `down` link to its level-(i-1) node, so descending never
+//    dereferences reclaimed memory (the link pins the node, and cell
+//    persistence keeps traversal from a deleted node correct).
+//  * Membership truth lives at level 0 only. Levels >= 1 are search
+//    accelerators: a stale upper-level entry (deleted below, or not yet
+//    promoted) affects performance, never correctness — exactly the
+//    failure-isolation the bottom-up/top-down ordering gives the paper.
+//  * Descending from a deleted predecessor is safe because a deleted
+//    cell's next chain always re-joins the live list at its old position,
+//    so no key >= the predecessor's key can be missed (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "lfll/core/list.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace lfll {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class skip_list_map {
+public:
+    struct entry;
+    using list_type = valois_list<entry>;
+    using node = list_node<entry>;
+    using cursor = typename list_type::cursor;
+
+    struct entry {
+        Key key;
+        std::optional<Value> value;  ///< engaged only at level 0
+        node* down = nullptr;        ///< counted link to the level below
+
+        /// node_pool reclamation hook: the down pointer is a counted link.
+        /// (Also consumed read-only by the audit's in-degree walk.)
+        template <typename Sink>
+        void counted_links(Sink&& drop) const noexcept {
+            drop(down);
+        }
+    };
+
+    explicit skip_list_map(std::size_t initial_capacity = 1024, int max_level = 16,
+                           Compare cmp = Compare{})
+        : pool_(initial_capacity + 4 * static_cast<std::size_t>(max_level)),
+          max_level_(max_level),
+          cmp_(cmp) {
+        levels_.reserve(max_level_);
+        for (int i = 0; i < max_level_; ++i) {
+            levels_.push_back(std::make_unique<list_type>(pool_));
+        }
+    }
+
+    bool insert(const Key& key, Value value) {
+        std::vector<node*> preds;
+        cursor c0;
+        descend(key, c0, &preds);
+
+        // Level-0 insert decides membership (Fig. 12 logic).
+        node* q = nullptr;
+        node* a = nullptr;
+        bool won = false;
+        for (;;) {
+            if (find_in_level(0, key, c0)) break;  // already present
+            if (q == nullptr) {
+                q = levels_[0]->make_cell(entry{key, std::move(value), nullptr});
+                a = levels_[0]->make_aux();
+            }
+            if (levels_[0]->try_insert(c0, q, a)) {
+                won = true;
+                break;
+            }
+            levels_[0]->update(c0);
+        }
+        c0.reset();
+        if (!won) {
+            if (q != nullptr) {
+                levels_[0]->release_node(q);
+                levels_[0]->release_node(a);
+            }
+            release_preds(preds);
+            return false;
+        }
+        levels_[0]->release_node(a);
+
+        // Promote bottom-up to a random height. `below` carries a private
+        // reference on the node one level down.
+        const int height = random_level();
+        node* below = q;  // q's private reference transfers to `below`
+        for (int i = 1; i < height; ++i) {
+            if (!promote(i, key, preds[i], below)) break;
+        }
+        pool_.release(below);
+        release_preds(preds);
+        return true;
+    }
+
+    bool erase(const Key& key) {
+        std::vector<node*> preds;
+        cursor c0;
+        descend(key, c0, &preds);
+        c0.reset();
+
+        // Top-down (paper's order): strip the accelerator entries first so
+        // the subset property is restored by the time level 0 commits.
+        for (int i = max_level_ - 1; i >= 1; --i) {
+            erase_in_level(i, key, preds[i]);
+        }
+        const bool erased = erase_in_level(0, key, preds[0]);
+        release_preds(preds);
+        return erased;
+    }
+
+    std::optional<Value> find(const Key& key) {
+        cursor c0;
+        descend(key, c0, nullptr);
+        if (!find_in_level(0, key, c0)) return std::nullopt;
+        return (*c0).value;  // cursor pins the cell; optional copy is safe
+    }
+
+    bool contains(const Key& key) { return find(key).has_value(); }
+
+    /// Bottom level holds exactly the members. Quiescent use.
+    std::size_t size_slow() const { return levels_[0]->size_slow(); }
+
+    /// Visits members in key order (level-0 walk). Concurrent-safe.
+    template <typename F>
+    void for_each(F&& f) {
+        for (cursor c(*levels_[0]); !c.at_end(); levels_[0]->next(c)) {
+            f((*c).key, *(*c).value);
+        }
+    }
+
+    /// Ordered range scan: visits every member with lo <= key < hi, in
+    /// key order, positioning via the O(log n) descent rather than a
+    /// front-to-back walk. Concurrent-safe like any cursor traversal.
+    template <typename F>
+    void for_each_range(const Key& lo, const Key& hi, F&& f) {
+        cursor c;
+        descend(lo, c, nullptr);
+        for (; !c.at_end(); levels_[0]->next(c)) {
+            const Key& k = (*c).key;
+            if (!cmp_(k, hi)) break;  // k >= hi
+            f(k, *(*c).value);
+        }
+    }
+
+    int max_level() const noexcept { return max_level_; }
+    list_type& level(int i) noexcept { return *levels_[i]; }
+    node_pool<node>& pool() noexcept { return pool_; }
+
+private:
+    /// Walks level `lvl` from cursor c's current position until the target
+    /// key is >= `key`. True iff the key was found.
+    bool find_in_level(int lvl, const Key& key, cursor& c) {
+        auto& ctr = instrument::tls();
+        while (!c.at_end()) {
+            const Key& k = (*c).key;
+            ctr.cells_traversed++;
+            if (!cmp_(k, key) && !cmp_(key, k)) return true;
+            if (cmp_(key, k)) return false;
+            levels_[lvl]->next(c);
+        }
+        return false;
+    }
+
+    /// Top-to-bottom search. On return, c0 sits at the first level-0 cell
+    /// with key >= `key`. If `preds` is non-null it receives, per level, a
+    /// counted reference on the predecessor cell (the last cell visited
+    /// with key < `key`; the level's First dummy if none).
+    void descend(const Key& key, cursor& c0, std::vector<node*>* preds) {
+        if (preds != nullptr) preds->assign(max_level_, nullptr);
+        node* start = nullptr;  // counted ref into the current level
+        for (int i = max_level_ - 1; i >= 0; --i) {
+            cursor c;
+            if (start != nullptr) {
+                levels_[i]->seek(c, start);
+            } else {
+                levels_[i]->first(c);
+            }
+            while (!c.at_end() && cmp_((*c).key, key)) levels_[i]->next(c);
+            node* pred = c.pre_cell();
+            if (preds != nullptr) (*preds)[i] = pool_.add_ref(pred);
+            node* next_start = nullptr;
+            if (i > 0 && pred->is_cell()) {
+                // pred is pinned by the cursor; its counted down link pins
+                // the node below, so a plain add_ref is safe.
+                next_start = pool_.add_ref(pred->value().down);
+            }
+            pool_.release(start);
+            start = next_start;
+            if (i == 0) c0 = std::move(c);
+        }
+    }
+
+    /// Inserts an accelerator entry for `key` at level `lvl` (down link to
+    /// `below`), starting the search at `from`. Returns false if an entry
+    /// with the key already exists there (promotion stops: the existing
+    /// tower — possibly a dying one — already covers this level).
+    bool promote(int lvl, const Key& key, node* from, node*& below) {
+        cursor c;
+        if (from != nullptr && from->is_cell()) {
+            levels_[lvl]->seek(c, from);
+        } else {
+            levels_[lvl]->first(c);
+        }
+        node* q = nullptr;
+        node* a = nullptr;
+        for (;;) {
+            if (find_in_level(lvl, key, c)) {
+                if (q != nullptr) {
+                    levels_[lvl]->release_node(q);
+                    levels_[lvl]->release_node(a);
+                }
+                return false;
+            }
+            if (q == nullptr) {
+                q = levels_[lvl]->make_cell(entry{key, std::nullopt, pool_.add_ref(below)});
+                a = levels_[lvl]->make_aux();
+            }
+            if (levels_[lvl]->try_insert(c, q, a)) break;
+            levels_[lvl]->update(c);
+        }
+        levels_[lvl]->release_node(a);
+        pool_.release(below);
+        below = q;  // q's private reference moves into `below`
+        return true;
+    }
+
+    /// Deletes `key` from level `lvl` if present, searching from `from`.
+    bool erase_in_level(int lvl, const Key& key, node* from) {
+        cursor c;
+        if (from != nullptr && from->is_cell()) {
+            levels_[lvl]->seek(c, from);
+        } else {
+            levels_[lvl]->first(c);
+        }
+        for (;;) {
+            if (!find_in_level(lvl, key, c)) return false;
+            if (levels_[lvl]->try_delete(c)) return true;
+            levels_[lvl]->update(c);
+        }
+    }
+
+    void release_preds(std::vector<node*>& preds) {
+        for (node* p : preds) pool_.release(p);
+        preds.clear();
+    }
+
+    int random_level() {
+        thread_local xorshift64 rng(0x51c9a11d ^
+                                    reinterpret_cast<std::uintptr_t>(&rng));
+        int h = 1;
+        while (h < max_level_ && (rng.next() & 1) != 0) ++h;
+        return h;
+    }
+
+    node_pool<node> pool_;  // declared before levels_: destroyed after them
+    std::vector<std::unique_ptr<list_type>> levels_;
+    int max_level_;
+    Compare cmp_;
+};
+
+}  // namespace lfll

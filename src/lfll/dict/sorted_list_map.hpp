@@ -1,0 +1,155 @@
+// Sorted-list dictionary (§4.1, Figs. 11-13).
+//
+// Keys are kept unique by maintaining sort order: Insert first runs
+// FindFrom to check for the key, and the cursor FindFrom leaves behind is
+// exactly the insertion position. A failed TryInsert/TryDelete means a
+// concurrent operation restructured the neighbourhood; Update re-validates
+// the cursor and the search continues from where it stood (never from the
+// front), which is what bounds the paper's amortized extra work.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "lfll/core/list.hpp"
+#include "lfll/primitives/backoff.hpp"
+#include "lfll/primitives/instrument.hpp"
+
+namespace lfll {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class sorted_list_map {
+public:
+    using value_type = std::pair<const Key, Value>;
+    using list_type = valois_list<value_type>;
+    using cursor = typename list_type::cursor;
+
+    explicit sorted_list_map(std::size_t initial_capacity = 1024, Compare cmp = Compare{})
+        : list_(initial_capacity), cmp_(cmp) {}
+
+    /// Retry backoff policy (§2.1: exponential backoff handles starvation
+    /// at high contention more efficiently than wait-freedom would).
+    /// Applied after every failed TryInsert/TryDelete; bench_e8 ablates it.
+    void set_backoff(backoff::config cfg) noexcept { backoff_cfg_ = cfg; }
+
+    /// Fig. 11 (FindFrom): scan forward from c for `key`. Returns true and
+    /// leaves c on the match, or returns false with c on the first cell
+    /// whose key is greater (or at end-of-list) — the insertion position.
+    bool find_from(const Key& key, cursor& c) {
+        auto& ctr = instrument::tls();
+        while (!c.at_end()) {
+            const Key& k = (*c).first;
+            ctr.cells_traversed++;
+            if (!cmp_(k, key) && !cmp_(key, k)) return true;  // k == key
+            if (cmp_(key, k)) return false;                   // k > key
+            list_.next(c);
+        }
+        return false;
+    }
+
+    /// Fig. 12 (Insert): adds key -> value; returns false if the key is
+    /// already present.
+    bool insert(const Key& key, Value value) {
+        cursor c(list_);
+        typename list_type::node* q = nullptr;
+        typename list_type::node* a = nullptr;
+        backoff bo(backoff_cfg_);
+        for (;;) {
+            if (find_from(key, c)) {
+                if (q != nullptr) {
+                    list_.release_node(q);
+                    list_.release_node(a);
+                }
+                return false;
+            }
+            if (q == nullptr) {
+                q = list_.make_cell(key, std::move(value));
+                a = list_.make_aux();
+            }
+            if (list_.try_insert(c, q, a)) {
+                list_.release_node(q);
+                list_.release_node(a);
+                return true;
+            }
+            bo();
+            list_.update(c);
+        }
+    }
+
+    /// Fig. 13 (Delete): removes the cell with `key`; false if absent.
+    bool erase(const Key& key) {
+        cursor c(list_);
+        backoff bo(backoff_cfg_);
+        for (;;) {
+            if (!find_from(key, c)) return false;
+            if (list_.try_delete(c)) return true;
+            bo();
+            list_.update(c);
+        }
+    }
+
+    /// Dictionary Find: copies out the mapped value if present. The copy
+    /// is safe even against a concurrent delete — cell persistence (§2.2)
+    /// keeps the payload intact while our reference pins it. Uses the
+    /// light scan (one reference at a time) rather than a full cursor:
+    /// lookups never mutate, so the cursor triple would be wasted RMWs.
+    std::optional<Value> find(const Key& key) {
+        std::optional<Value> out;
+        list_.scan([&](const value_type& v) {
+            if (cmp_(v.first, key)) return true;                      // keep walking
+            if (!cmp_(key, v.first)) out.emplace(v.second);          // equal: found
+            return false;                                             // >= key: stop
+        });
+        return out;
+    }
+
+    bool contains(const Key& key) { return find(key).has_value(); }
+
+    /// Visits every (key, value) in sort order. Concurrent-safe (the visit
+    /// observes a linearizable-per-step traversal, like any cursor walk).
+    template <typename F>
+    void for_each(F&& f) {
+        for (cursor c(list_); !c.at_end(); list_.next(c)) {
+            f((*c).first, (*c).second);
+        }
+    }
+
+    /// Ordered range scan: every (key, value) with lo <= key < hi, via
+    /// the light read-only walk. Concurrent-safe.
+    template <typename F>
+    void for_each_range(const Key& lo, const Key& hi, F&& f) {
+        list_.scan([&](const value_type& v) {
+            if (cmp_(v.first, lo)) return true;   // before the window
+            if (!cmp_(v.first, hi)) return false;  // past it: stop
+            f(v.first, v.second);
+            return true;
+        });
+    }
+
+    /// Removes every element (retrying per-cell like erase). Linearizes
+    /// per deletion, not as one atomic sweep; concurrent inserts may
+    /// survive. Returns the number of cells this call deleted.
+    std::size_t clear() {
+        std::size_t deleted = 0;
+        cursor c(list_);
+        for (;;) {
+            list_.first(c);
+            if (c.at_end()) return deleted;
+            if (list_.try_delete(c)) ++deleted;
+        }
+    }
+
+    std::size_t size_slow() const { return list_.size_slow(); }
+    bool empty_slow() const { return list_.empty_slow(); }
+
+    list_type& list() noexcept { return list_; }
+
+private:
+    list_type list_;
+    Compare cmp_;
+    backoff::config backoff_cfg_{};
+};
+
+}  // namespace lfll

@@ -1,0 +1,99 @@
+// Reusable per-operation latency sampling for benchmark workers.
+//
+// Sampling every op would perturb the hot loop (two clock reads per op);
+// the recorder samples every 2^k-th op and merges thread-local buffers
+// under a mutex at the end of the run, so the fast path is one branch +
+// counter increment on non-sampled ops.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lfll/harness/stats.hpp"
+
+namespace lfll::harness {
+
+/// Shared sink; one per benchmark cell.
+class latency_sink {
+public:
+    void merge(std::vector<double>&& samples) {
+        std::lock_guard lk(mu_);
+        all_.insert(all_.end(), samples.begin(), samples.end());
+    }
+
+    /// Order statistics over everything merged so far (ns).
+    summary summarize_ns() const {
+        std::lock_guard lk(mu_);
+        return summarize(all_);
+    }
+
+    std::size_t sample_count() const {
+        std::lock_guard lk(mu_);
+        return all_.size();
+    }
+
+private:
+    mutable std::mutex mu_;
+    std::vector<double> all_;
+};
+
+/// Per-thread sampler. Wrap each operation:
+///
+///     latency_sampler lat(sink);           // thread-local, by value
+///     while (...) { auto g = lat.measure(); do_op(); }
+///
+/// The guard's destructor records the elapsed time for sampled ops.
+class latency_sampler {
+public:
+    explicit latency_sampler(latency_sink& sink, std::uint32_t sample_shift = 4)
+        : sink_(&sink), mask_((1u << sample_shift) - 1) {
+        local_.reserve(4096);
+    }
+
+    ~latency_sampler() { flush(); }
+
+    latency_sampler(const latency_sampler&) = delete;
+    latency_sampler& operator=(const latency_sampler&) = delete;
+
+    class guard {
+    public:
+        explicit guard(latency_sampler* s) noexcept : sampler_(s) {
+            if (sampler_ != nullptr) start_ = std::chrono::steady_clock::now();
+        }
+        ~guard() {
+            if (sampler_ != nullptr) {
+                sampler_->local_.push_back(std::chrono::duration<double, std::nano>(
+                                               std::chrono::steady_clock::now() - start_)
+                                               .count());
+            }
+        }
+        guard(const guard&) = delete;
+        guard& operator=(const guard&) = delete;
+
+    private:
+        latency_sampler* sampler_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /// Returns a timing guard for every (mask+1)-th call, an inert one
+    /// otherwise.
+    guard measure() noexcept {
+        return guard((ops_++ & mask_) == 0 ? this : nullptr);
+    }
+
+    void flush() {
+        if (sink_ != nullptr && !local_.empty()) sink_->merge(std::move(local_));
+        local_.clear();
+    }
+
+private:
+    friend class guard;
+    latency_sink* sink_;
+    std::uint32_t mask_;
+    std::uint64_t ops_ = 0;
+    std::vector<double> local_;
+};
+
+}  // namespace lfll::harness

@@ -1,0 +1,64 @@
+#include "lfll/harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lfll::harness {
+
+summary summarize(std::vector<double> samples) {
+    summary s;
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    s.n = samples.size();
+    s.min = samples.front();
+    s.max = samples.back();
+    double sum = 0;
+    for (double v : samples) sum += v;
+    s.mean = sum / static_cast<double>(s.n);
+    double sq = 0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = s.n > 1 ? std::sqrt(sq / static_cast<double>(s.n - 1)) : 0.0;
+    auto pct = [&](double p) {
+        const double idx = p * static_cast<double>(s.n - 1);
+        const std::size_t lo = static_cast<std::size_t>(idx);
+        const std::size_t hi = std::min(lo + 1, s.n - 1);
+        const double frac = idx - static_cast<double>(lo);
+        return samples[lo] * (1 - frac) + samples[hi] * frac;
+    };
+    s.p50 = pct(0.50);
+    s.p99 = pct(0.99);
+    return s;
+}
+
+std::string fmt_si(double v) {
+    const char* suffix = "";
+    double scaled = v;
+    if (v >= 1e9) {
+        scaled = v / 1e9;
+        suffix = "G";
+    } else if (v >= 1e6) {
+        scaled = v / 1e6;
+        suffix = "M";
+    } else if (v >= 1e3) {
+        scaled = v / 1e3;
+        suffix = "k";
+    }
+    char buf[64];
+    if (scaled >= 100 || suffix[0] == '\0') {
+        std::snprintf(buf, sizeof buf, "%.0f%s", scaled, suffix);
+    } else if (scaled >= 10) {
+        std::snprintf(buf, sizeof buf, "%.1f%s", scaled, suffix);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.2f%s", scaled, suffix);
+    }
+    return buf;
+}
+
+std::string fmt_fixed(double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+}  // namespace lfll::harness

@@ -1,0 +1,24 @@
+// Summary statistics and number formatting for benchmark output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lfll::harness {
+
+struct summary {
+    double min = 0, max = 0, mean = 0, stddev = 0, p50 = 0, p99 = 0;
+    std::size_t n = 0;
+};
+
+/// Computes order statistics over a copy of `samples` (left unmodified).
+summary summarize(std::vector<double> samples);
+
+/// "1234567" -> "1.23M"; keeps three significant digits.
+std::string fmt_si(double v);
+
+/// Fixed-precision decimal.
+std::string fmt_fixed(double v, int precision);
+
+}  // namespace lfll::harness

@@ -1,0 +1,77 @@
+// Dictionary workload generation: operation mixes and key distributions.
+//
+// All experiments drive dictionaries through this one loop so that every
+// structure sees byte-identical operation streams for a given seed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lfll/primitives/rng.hpp"
+#include "lfll/primitives/zipf.hpp"
+
+namespace lfll::harness {
+
+struct op_mix {
+    int find_pct = 80;
+    int insert_pct = 10;
+    int erase_pct = 10;
+
+    static op_mix read_heavy() { return {90, 5, 5}; }
+    static op_mix mixed() { return {50, 25, 25}; }
+    static op_mix write_only() { return {0, 50, 50}; }
+};
+
+/// Fills the map to ~50% occupancy of the key range (every even key), so
+/// finds hit half the time and insert/erase both have work to do.
+template <typename Map>
+void prefill(Map& m, std::uint64_t key_range) {
+    for (std::uint64_t k = 0; k < key_range; k += 2) {
+        m.insert(static_cast<int>(k), static_cast<int>(k));
+    }
+}
+
+/// One worker's benchmark loop over a map with insert(k,v)/erase(k)/find(k).
+/// Returns completed operations. Uniform keys.
+template <typename Map>
+std::uint64_t dict_worker(Map& m, const op_mix& mix, std::uint64_t key_range, int thread_id,
+                          std::atomic<bool>& stop) {
+    xorshift64 rng(0x12340000ULL + static_cast<std::uint64_t>(thread_id) * 7919);
+    std::uint64_t ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+        const int k = static_cast<int>(rng.next_below(key_range));
+        const int pick = static_cast<int>(rng.next_below(100));
+        if (pick < mix.find_pct) {
+            (void)m.find(k);
+        } else if (pick < mix.find_pct + mix.insert_pct) {
+            (void)m.insert(k, k);
+        } else {
+            (void)m.erase(k);
+        }
+        ++ops;
+    }
+    return ops;
+}
+
+/// As dict_worker, with Zipf-distributed keys (hot-spot contention).
+template <typename Map>
+std::uint64_t dict_worker_zipf(Map& m, const op_mix& mix, const zipf_generator& zipf,
+                               int thread_id, std::atomic<bool>& stop) {
+    xorshift64 rng(0x56780000ULL + static_cast<std::uint64_t>(thread_id) * 104729);
+    std::uint64_t ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+        const int k = static_cast<int>(zipf(rng));
+        const int pick = static_cast<int>(rng.next_below(100));
+        if (pick < mix.find_pct) {
+            (void)m.find(k);
+        } else if (pick < mix.find_pct + mix.insert_pct) {
+            (void)m.insert(k, k);
+        } else {
+            (void)m.erase(k);
+        }
+        ++ops;
+    }
+    return ops;
+}
+
+}  // namespace lfll::harness

@@ -1,0 +1,178 @@
+#include "lfll/memory/buddy_allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lfll {
+
+namespace {
+
+std::size_t floor_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p * 2 <= v) p *= 2;
+    return p;
+}
+
+std::size_t ceil_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p *= 2;
+    return p;
+}
+
+}  // namespace
+
+buddy_allocator::buddy_allocator(std::size_t total_bytes, std::size_t min_block) {
+    min_block_ = ceil_pow2(min_block < 16 ? 16 : min_block);
+    arena_bytes_ = floor_pow2(total_bytes);
+    assert(arena_bytes_ >= min_block_ && "arena smaller than one block");
+    max_order_ = 0;
+    while (order_bytes(max_order_) < arena_bytes_) ++max_order_;
+
+    arena_ = std::make_unique<unsigned char[]>(arena_bytes_);
+    meta_ = std::vector<block_meta>(arena_bytes_ / min_block_);
+    lists_ = std::vector<free_list>(static_cast<std::size_t>(max_order_) + 1);
+
+    // The arena starts as one maximal free block.
+    meta_[0].order.store(static_cast<std::uint8_t>(max_order_), std::memory_order_relaxed);
+    meta_[0].state.store(block_state::free_listed, std::memory_order_relaxed);
+    push(max_order_, 0);
+}
+
+buddy_allocator::~buddy_allocator() = default;
+
+int buddy_allocator::order_for(std::size_t bytes) const noexcept {
+    int order = 0;
+    while (order <= max_order_ && order_bytes(order) < bytes) ++order;
+    return order;
+}
+
+void buddy_allocator::push(int order, std::int32_t index) {
+    auto& m = meta_[static_cast<std::size_t>(index)];
+    m.order.store(static_cast<std::uint8_t>(order), std::memory_order_relaxed);
+    m.state.store(block_state::free_listed, std::memory_order_release);
+    std::uint64_t head = lists_[order].head.load(std::memory_order_acquire);
+    for (;;) {
+        m.next.store(unpack_index(head), std::memory_order_relaxed);
+        const std::uint64_t fresh = pack(index, unpack_tag(head) + 1);
+        if (lists_[order].head.compare_exchange_weak(head, fresh, std::memory_order_acq_rel,
+                                                     std::memory_order_acquire)) {
+            break;
+        }
+    }
+    free_bytes_.fetch_add(order_bytes(order), std::memory_order_relaxed);
+}
+
+std::int32_t buddy_allocator::try_pop(int order) {
+    std::uint64_t head = lists_[order].head.load(std::memory_order_acquire);
+    for (;;) {
+        const std::int32_t index = unpack_index(head);
+        if (index < 0) return -1;
+        const std::int32_t next =
+            meta_[static_cast<std::size_t>(index)].next.load(std::memory_order_acquire);
+        const std::uint64_t fresh = pack(next, unpack_tag(head) + 1);
+        if (lists_[order].head.compare_exchange_weak(head, fresh, std::memory_order_acq_rel,
+                                                     std::memory_order_acquire)) {
+            free_bytes_.fetch_sub(order_bytes(order), std::memory_order_relaxed);
+            return index;
+        }
+    }
+}
+
+std::int32_t buddy_allocator::acquire(int order) {
+    const std::int32_t direct = try_pop(order);
+    if (direct >= 0) return direct;
+    if (order == max_order_) return -1;
+    // Split a larger block: lower half is ours, upper half goes free.
+    const std::int32_t big = acquire(order + 1);
+    if (big < 0) return -1;
+    const std::int32_t upper = big + (std::int32_t{1} << order);
+    push(order, upper);
+    return big;
+}
+
+void* buddy_allocator::allocate(std::size_t bytes) {
+    if (bytes == 0 || bytes > arena_bytes_) return nullptr;
+    const int order = order_for(bytes);
+    std::int32_t index = acquire(order);
+    if (index < 0) {
+        // One cooperative coalescing attempt, then one retry.
+        if (coalesce_mu_.try_lock()) {
+            std::lock_guard guard(coalesce_mu_, std::adopt_lock);
+            coalesce_locked();
+        }
+        index = acquire(order);
+        if (index < 0) return nullptr;
+    }
+    auto& m = meta_[static_cast<std::size_t>(index)];
+    m.order.store(static_cast<std::uint8_t>(order), std::memory_order_relaxed);
+    m.state.store(block_state::allocated, std::memory_order_release);
+    return arena_.get() + static_cast<std::size_t>(index) * min_block_;
+}
+
+void buddy_allocator::deallocate(void* p) {
+    if (p == nullptr) return;
+    const std::ptrdiff_t offset = static_cast<unsigned char*>(p) - arena_.get();
+    assert(offset >= 0 && static_cast<std::size_t>(offset) < arena_bytes_ &&
+           offset % static_cast<std::ptrdiff_t>(min_block_) == 0 &&
+           "pointer not from this allocator");
+    const auto index = static_cast<std::int32_t>(offset / static_cast<std::ptrdiff_t>(min_block_));
+    auto& m = meta_[static_cast<std::size_t>(index)];
+    assert(m.state.load(std::memory_order_acquire) == block_state::allocated &&
+           "double free or wild pointer");
+    push(m.order.load(std::memory_order_acquire), index);
+}
+
+void buddy_allocator::coalesce() {
+    std::lock_guard guard(coalesce_mu_);
+    coalesce_locked();
+}
+
+void buddy_allocator::coalesce_locked() {
+    // Pop every free list into private ownership: once a block is popped
+    // no other thread can touch it, so merging is single-threaded-safe.
+    // Blocks freed concurrently during the pass are simply left for the
+    // next pass.
+    std::vector<std::vector<std::int32_t>> own(static_cast<std::size_t>(max_order_) + 1);
+    for (int o = 0; o <= max_order_; ++o) {
+        for (;;) {
+            const std::int32_t i = try_pop(o);
+            if (i < 0) break;
+            own[o].push_back(i);
+        }
+    }
+    for (int o = 0; o < max_order_; ++o) {
+        auto& blocks = own[o];
+        std::sort(blocks.begin(), blocks.end());
+        std::vector<std::int32_t> keep;
+        std::size_t i = 0;
+        while (i < blocks.size()) {
+            const std::int32_t lower = blocks[i];
+            const bool aligned = (lower & ((std::int32_t{1} << (o + 1)) - 1)) == 0;
+            if (aligned && i + 1 < blocks.size() && blocks[i + 1] == buddy_of(lower, o)) {
+                // Merge: the upper half becomes an interior granule.
+                meta_[static_cast<std::size_t>(blocks[i + 1])].state.store(
+                    block_state::invalid, std::memory_order_release);
+                own[o + 1].push_back(lower);
+                i += 2;
+            } else {
+                keep.push_back(lower);
+                i += 1;
+            }
+        }
+        blocks = std::move(keep);
+    }
+    for (int o = 0; o <= max_order_; ++o) {
+        for (const std::int32_t i : own[o]) push(o, i);
+    }
+}
+
+std::size_t buddy_allocator::largest_free_block() const noexcept {
+    for (int order = max_order_; order >= 0; --order) {
+        if (unpack_index(lists_[order].head.load(std::memory_order_acquire)) >= 0) {
+            return order_bytes(order);
+        }
+    }
+    return 0;
+}
+
+}  // namespace lfll

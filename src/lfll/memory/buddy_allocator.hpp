@@ -1,0 +1,116 @@
+// Lock-free binary buddy allocator for variable-sized cells.
+//
+// §5.2: "in [28] we show how to extend these ideas to implement a
+// lock-free buddy system which provides management of variable-sized
+// cells." The thesis text is not reproduced in the paper, so this module
+// implements the standard binary-buddy scheme with the same progress
+// discipline as the rest of the library:
+//   * allocate()/deallocate() fast paths are lock-free: per-order Treiber
+//     stacks of block indices with a packed {index, tag} head word (the
+//     tag defeats free-list ABA the same way §5.1 defeats it with
+//     reference counts — by making a recycled head distinguishable).
+//   * Buddy coalescing is a cooperative maintenance pass under a try-lock:
+//     a thread that finds an order exhausted attempts it, and a thread
+//     that finds the lock busy simply proceeds without it (so no thread
+//     ever blocks on another — the failure mode is a refused allocation,
+//     not a stall). DESIGN.md records this simplification relative to the
+//     thesis, which integrates coalescing into the lock-free path.
+//
+// The arena is allocated once and never grows; exhaustion returns nullptr
+// (the caller can fall back), matching the paper's fixed pools.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll {
+
+class buddy_allocator {
+public:
+    /// Manages `total_bytes` (rounded down to a power of two) in blocks of
+    /// at least `min_block` bytes (rounded up to a power of two, >= 16).
+    buddy_allocator(std::size_t total_bytes, std::size_t min_block = 64);
+    ~buddy_allocator();
+
+    buddy_allocator(const buddy_allocator&) = delete;
+    buddy_allocator& operator=(const buddy_allocator&) = delete;
+
+    /// Returns a block of at least `bytes` bytes (power-of-two sized and
+    /// aligned), or nullptr when no block of sufficient order is free.
+    void* allocate(std::size_t bytes);
+
+    /// Returns a block obtained from allocate(). The size is recovered
+    /// from the block's own metadata.
+    void deallocate(void* p);
+
+    /// Force a full coalescing pass (blocks until the try-lock is free).
+    /// Mostly for tests; normal operation coalesces opportunistically.
+    void coalesce();
+
+    std::size_t total_bytes() const noexcept { return arena_bytes_; }
+    std::size_t min_block() const noexcept { return min_block_; }
+    /// Bytes currently sitting on free lists (approximate under churn).
+    std::size_t free_bytes() const noexcept { return free_bytes_.load(std::memory_order_relaxed); }
+    /// Largest order with a nonempty free list, as a block size in bytes;
+    /// 0 when everything is allocated. Approximate under churn.
+    std::size_t largest_free_block() const noexcept;
+
+private:
+    // Block states, kept per min-granule index of the block's first granule.
+    enum class block_state : std::uint8_t {
+        invalid = 0,    ///< interior granule (not a block start)
+        free_listed,    ///< on a free list
+        allocated,      ///< handed to a caller
+    };
+
+    struct block_meta {
+        std::atomic<std::uint8_t> order{0};
+        std::atomic<block_state> state{block_state::invalid};
+        std::atomic<std::int32_t> next{-1};  ///< free-list link (block index)
+    };
+
+    /// Treiber stack head: {tag:32, index:32}; index -1 = empty.
+    struct alignas(cacheline_size) free_list {
+        std::atomic<std::uint64_t> head{pack(-1, 0)};
+    };
+
+    static std::uint64_t pack(std::int32_t index, std::uint32_t tag) noexcept {
+        return (static_cast<std::uint64_t>(tag) << 32) |
+               static_cast<std::uint32_t>(index);
+    }
+    static std::int32_t unpack_index(std::uint64_t w) noexcept {
+        return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
+    }
+    static std::uint32_t unpack_tag(std::uint64_t w) noexcept {
+        return static_cast<std::uint32_t>(w >> 32);
+    }
+
+    int order_for(std::size_t bytes) const noexcept;
+    std::size_t order_bytes(int order) const noexcept { return min_block_ << order; }
+    std::int32_t buddy_of(std::int32_t index, int order) const noexcept {
+        return index ^ (std::int32_t{1} << order);
+    }
+
+    void push(int order, std::int32_t index);
+    std::int32_t try_pop(int order);
+    void coalesce_locked();
+    /// Gets a block of exactly `order`, splitting larger blocks. -1 if none.
+    std::int32_t acquire(int order);
+
+    std::size_t arena_bytes_;
+    std::size_t min_block_;
+    int max_order_;  ///< arena is one block of this order when fully free
+    std::unique_ptr<unsigned char[]> arena_;
+    std::vector<block_meta> meta_;
+    std::vector<free_list> lists_;  ///< one per order, 0..max_order_
+    std::atomic<std::size_t> free_bytes_{0};
+    std::mutex coalesce_mu_;  ///< try-locked; never waited on in allocate()
+};
+
+}  // namespace lfll

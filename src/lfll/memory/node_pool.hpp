@@ -1,0 +1,237 @@
+// Typed node pool: slab arena + the paper's lock-free LIFO free list
+// (Alloc / Reclaim, Figs. 17-18) + SafeRead / Release (Figs. 15-16, with
+// the Michael & Scott correction — see ref_count.hpp).
+//
+// Ownership discipline ("counted links"):
+//  * Every pointer stored in shared memory (a node's next/back_link, the
+//    free-list head) holds ONE counted reference on its target.
+//  * Every private pointer a thread obtained via alloc(), safe_read() or
+//    add_ref() holds ONE counted reference, dropped with release().
+//  * A CAS that swings a shared pointer from `old` to `new` must
+//    add_ref(new) BEFORE the CAS; on success the caller must release(old)
+//    (the dying link's reference); on failure it must release(new) (the
+//    speculative reference). valois_list encapsulates this in one helper.
+//
+// Slabs are never returned to the OS while the pool lives; this is the
+// precondition for SafeRead's transient increment on a recycled node being
+// harmless (§5.1: "we can safely reuse cells ... as long as we can
+// guarantee that no other processes have pointers to the cell").
+//
+// Node requirements (duck-typed; valois_list::node and the baselines'
+// nodes satisfy them):
+//    std::atomic<refct_t> refct;
+//    std::atomic<Node*>   next;     // reused as the free-list link
+//    void drop_links(Sink&& drop);  // pass each *counted* outgoing link
+//                                   //   target (may be null) to drop()
+//    void on_reclaim();             // destroy payload, reset flags
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lfll/memory/ref_count.hpp"
+#include "lfll/primitives/cacheline.hpp"
+#include "lfll/primitives/instrument.hpp"
+#include "lfll/primitives/test_hooks.hpp"
+
+namespace lfll {
+
+template <typename Node>
+class node_pool {
+public:
+    /// Creates a pool with `initial_capacity` pre-allocated nodes. The pool
+    /// grows by doubling slabs when exhausted (growth takes a mutex; the
+    /// alloc fast path is lock-free).
+    explicit node_pool(std::size_t initial_capacity = 1024) {
+        grow(initial_capacity == 0 ? 1 : initial_capacity);
+    }
+
+    ~node_pool() = default;
+
+    node_pool(const node_pool&) = delete;
+    node_pool& operator=(const node_pool&) = delete;
+
+    /// Paper Fig. 17 (Alloc). Returns a node holding one private reference
+    /// owned by the caller; `next` is null. Never returns nullptr (grows).
+    Node* alloc() {
+        instrument::tls().nodes_allocated++;
+        for (;;) {
+            Node* q = safe_read(free_head_);
+            if (q == nullptr) {
+                grow(capacity_.load(std::memory_order_relaxed));
+                continue;
+            }
+            Node* next = q->next.load(std::memory_order_acquire);
+            Node* expected = q;
+            if (free_head_.compare_exchange_strong(expected, next,
+                                                   std::memory_order_acq_rel,
+                                                   std::memory_order_acquire)) {
+                // The free-list's reference to q died with the pop; our
+                // safe_read reference keeps the count >= 1, so a plain
+                // decrement (no reclaim check) is sound.
+                q->refct.fetch_sub(refct_one, std::memory_order_acq_rel);
+                q->next.store(nullptr, std::memory_order_relaxed);
+                free_count_.fetch_sub(1, std::memory_order_relaxed);
+                return q;
+            }
+            // CAS failed: q is no longer (or was never still) the head.
+            release(q);
+        }
+    }
+
+    /// Adds a reference to a node the caller already protects (holds a
+    /// counted reference to, directly or through a live cursor).
+    Node* add_ref(Node* p) noexcept {
+        if (p != nullptr) refct_acquire(p->refct);
+        return p;
+    }
+
+    /// Paper Fig. 15 (SafeRead): atomically read a shared pointer and
+    /// acquire a reference on the target, revalidating that the location
+    /// still points at it (otherwise the increment may be on a node that
+    /// was concurrently unlinked/recycled and must be undone).
+    Node* safe_read(const std::atomic<Node*>& location) noexcept {
+        auto& ctr = instrument::tls();
+        ctr.safe_reads++;
+        for (;;) {
+            Node* q = location.load(std::memory_order_acquire);
+            if (q == nullptr) return nullptr;
+            testing_hooks::chaos_point();  // between read and increment
+            refct_acquire(q->refct);
+            testing_hooks::chaos_point();  // between increment and revalidation
+            if (location.load(std::memory_order_acquire) == q) return q;
+            ctr.saferead_retries++;
+            release(q);
+        }
+    }
+
+    /// Paper Fig. 16 (Release), M&S-corrected, iterative. Drops one
+    /// reference; if the count reaches zero and this caller wins the
+    /// claim, the node's outgoing links are dropped (which may cascade
+    /// down chains of dead cells) and the node returns to the free list.
+    void release(Node* p) noexcept {
+        if (p == nullptr) return;
+        // Iterative cascade: reclaiming a node releases its link targets,
+        // which may themselves die. A chain of deleted cells can be long,
+        // so recursion is not acceptable here.
+        Node* inline_stack[32];
+        std::size_t top = 0;
+        std::vector<Node*> overflow;
+        inline_stack[top++] = p;
+        auto push = [&](Node* n) {
+            if (n == nullptr) return;
+            if (top < std::size(inline_stack))
+                inline_stack[top++] = n;
+            else
+                overflow.push_back(n);
+        };
+        for (;;) {
+            Node* q;
+            if (top > 0) {
+                q = inline_stack[--top];
+            } else if (!overflow.empty()) {
+                q = overflow.back();
+                overflow.pop_back();
+            } else {
+                break;
+            }
+            testing_hooks::chaos_point();  // before the decrement
+            if (!refct_release(q->refct)) continue;
+            // We won the claim: q is exclusively ours.
+            q->drop_links(push);
+            q->on_reclaim();
+            reclaim(q);
+        }
+    }
+
+    /// Number of nodes the pool has ever handed slabs for.
+    std::size_t capacity() const noexcept { return capacity_.load(std::memory_order_relaxed); }
+
+    /// Approximate free-list length (exact when quiescent).
+    std::size_t free_count() const noexcept { return free_count_.load(std::memory_order_relaxed); }
+
+    /// Nodes currently outside the free list (exact when quiescent).
+    std::size_t live_count() const noexcept { return capacity() - free_count(); }
+
+    /// Visits every slab slot. Only meaningful while no other thread is
+    /// mutating; used by the test-suite audits.
+    template <typename F>
+    void for_each_node(F&& f) const {
+        std::lock_guard lk(grow_mu_);
+        for (const auto& slab : slabs_) {
+            for (std::size_t i = 0; i < slab.count; ++i) f(&slab.nodes[i]);
+        }
+    }
+
+    /// Walks the free list. Only meaningful while no other thread is
+    /// mutating; used by the test-suite audits.
+    template <typename F>
+    void for_each_free(F&& f) const {
+        for (const Node* p = free_head_.load(std::memory_order_acquire); p != nullptr;
+             p = p->next.load(std::memory_order_acquire)) {
+            f(p);
+        }
+    }
+
+private:
+    struct slab {
+        std::unique_ptr<Node[]> nodes;
+        std::size_t count;
+    };
+
+    /// Paper Fig. 18 (Reclaim): push a claimed node (refct == claim) back
+    /// onto the free list. The claim->on-list transition is a fetch_add so
+    /// transient SafeRead increments are preserved (see ref_count.hpp).
+    void reclaim(Node* q) noexcept {
+        instrument::tls().nodes_reclaimed++;
+        refct_unclaim_to_one(q->refct);  // the free list's reference
+        push_chain(q, q);
+    }
+
+    /// Splice the chain first..last (linked via next) onto the free list.
+    void push_chain(Node* first, Node* last) noexcept {
+        Node* head = free_head_.load(std::memory_order_acquire);
+        do {
+            last->next.store(head, std::memory_order_relaxed);
+        } while (!free_head_.compare_exchange_weak(head, first,
+                                                   std::memory_order_acq_rel,
+                                                   std::memory_order_acquire));
+        free_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void grow(std::size_t at_least) {
+        std::lock_guard lk(grow_mu_);
+        if (free_head_.load(std::memory_order_acquire) != nullptr) return;  // lost the race; fine
+        const std::size_t n = at_least == 0 ? 1 : at_least;
+        slab s{std::make_unique<Node[]>(n), n};
+        Node* nodes = s.nodes.get();
+        for (std::size_t i = 0; i < n; ++i) {
+            // Fresh nodes enter the world on the free list: count 1.
+            nodes[i].refct.store(refct_one, std::memory_order_relaxed);
+            nodes[i].next.store(i + 1 < n ? &nodes[i + 1] : nullptr,
+                                std::memory_order_relaxed);
+        }
+        slabs_.push_back(std::move(s));
+        capacity_.fetch_add(n, std::memory_order_relaxed);
+        // Splice the whole slab in one CAS loop.
+        Node* head = free_head_.load(std::memory_order_acquire);
+        do {
+            nodes[n - 1].next.store(head, std::memory_order_relaxed);
+        } while (!free_head_.compare_exchange_weak(head, &nodes[0],
+                                                   std::memory_order_acq_rel,
+                                                   std::memory_order_acquire));
+        free_count_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    alignas(cacheline_size) std::atomic<Node*> free_head_{nullptr};
+    alignas(cacheline_size) std::atomic<std::size_t> capacity_{0};
+    alignas(cacheline_size) std::atomic<std::size_t> free_count_{0};
+    mutable std::mutex grow_mu_;
+    std::vector<slab> slabs_;
+};
+
+}  // namespace lfll

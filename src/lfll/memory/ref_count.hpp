@@ -1,0 +1,73 @@
+// Reference-count word encoding for the SafeRead/Release scheme (§5).
+//
+// The paper keeps a `refct` counter and a separate `claim` Test&Set flag
+// per cell (Figs. 15, 16). The published two-word protocol has a race
+// (two releasers can both observe the count reach zero, and a SafeRead's
+// transient increment can strand a claim), identified and fixed by
+// Michael & Scott (TR 599, 1995). We implement the corrected single-word
+// encoding:
+//
+//      refct = 2 * (number of references) + claim
+//
+// where a "reference" is either a counted link stored in shared memory
+// (list next/back_link fields, the free-list head) or a private pointer
+// held by a process (obtained via SafeRead / Alloc). The low bit is the
+// claim flag; it can only be set by the unique winner of a CAS(0 -> 1)
+// once the count has reached zero, which serializes reclamation.
+//
+// Key facts the node_pool relies on:
+//  * SafeRead may transiently increment the count of a node that has
+//    already been recycled; the increment is always matched by a
+//    decrement when SafeRead's revalidation fails, and because counts are
+//    only ever adjusted with fetch_add/fetch_sub (never blind stores),
+//    the transient pair is harmless. This is why pool slabs are never
+//    returned to the OS while the pool lives.
+//  * Release decrements by 2 and attempts the claim CAS only when it took
+//    the count to exactly zero; if the CAS fails, a transient increment
+//    was in flight and the matching decrement will re-attempt the claim.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+namespace lfll {
+
+using refct_t = std::uint64_t;
+
+inline constexpr refct_t refct_one = 2;      ///< one reference, encoded
+inline constexpr refct_t refct_claim = 1;    ///< claim bit
+
+/// Count component of an encoded refct value.
+constexpr std::uint64_t refct_count(refct_t v) noexcept { return v >> 1; }
+
+/// Claim bit of an encoded refct value.
+constexpr bool refct_claimed(refct_t v) noexcept { return (v & refct_claim) != 0; }
+
+/// Adds one reference. Caller must already own or protect a reference to
+/// the node (i.e. the count is known to be nonzero and cannot drop to zero
+/// concurrently), otherwise SafeRead's revalidation protocol must be used.
+inline void refct_acquire(std::atomic<refct_t>& rc) noexcept {
+    rc.fetch_add(refct_one, std::memory_order_acq_rel);
+}
+
+/// Drops one reference. Returns true iff the caller took the count to zero
+/// AND won the claim — in which case the caller must reclaim the node.
+inline bool refct_release(std::atomic<refct_t>& rc) noexcept {
+    const refct_t old = rc.fetch_sub(refct_one, std::memory_order_acq_rel);
+    assert(old >= refct_one && "release without a matching reference");
+    if (old != refct_one) return false;  // count still positive, or claim set
+    refct_t expected = 0;
+    return rc.compare_exchange_strong(expected, refct_claim,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+}
+
+/// Transition from "claimed, count 0" (value 1) to "on free list, count 1"
+/// (value 2). Implemented as fetch_add so that transient SafeRead
+/// increments stacked on top of the claimed state are preserved.
+inline void refct_unclaim_to_one(std::atomic<refct_t>& rc) noexcept {
+    rc.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace lfll

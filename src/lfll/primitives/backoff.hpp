@@ -1,0 +1,63 @@
+// Bounded exponential backoff.
+//
+// The paper (§2.1) argues that starvation under high contention "is more
+// efficiently handled by techniques such as exponential backoff" than by
+// paying for wait-freedom. Every retry loop in this library takes an
+// optional backoff; bench_e8_backoff measures its effect.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "lfll/primitives/cacheline.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace lfll {
+
+/// Exponential backoff with randomized jitter and a spin/yield split:
+/// short waits spin with cpu_relax(); once the bound exceeds
+/// `yield_threshold` iterations the thread yields to the OS instead,
+/// which matters on machines with fewer cores than threads.
+class backoff {
+public:
+    struct config {
+        std::uint32_t min_spins = 4;
+        std::uint32_t max_spins = 4096;
+        std::uint32_t yield_threshold = 1024;
+        bool enabled = true;
+    };
+
+    backoff() noexcept : backoff(config{}) {}
+    explicit backoff(config cfg) noexcept
+        : cfg_(cfg), limit_(cfg.min_spins), rng_(0x9e3779b97f4a7c15ULL) {}
+
+    /// Wait one step and double the bound (saturating at max_spins).
+    void operator()() noexcept {
+        if (!cfg_.enabled) {
+            cpu_relax();
+            return;
+        }
+        const std::uint32_t spins = 1 + static_cast<std::uint32_t>(rng_.next() % limit_);
+        if (spins > cfg_.yield_threshold) {
+            std::this_thread::yield();
+        } else {
+            for (std::uint32_t i = 0; i < spins; ++i) cpu_relax();
+        }
+        if (limit_ < cfg_.max_spins) limit_ *= 2;
+    }
+
+    /// Reset the bound after a success.
+    void reset() noexcept { limit_ = cfg_.min_spins; }
+
+private:
+    config cfg_;
+    std::uint32_t limit_;
+    xorshift64 rng_;
+};
+
+/// A backoff that never waits; used to bench the backoff-off ablation.
+inline backoff::config no_backoff() noexcept {
+    return backoff::config{.min_spins = 0, .max_spins = 0, .yield_threshold = 0, .enabled = false};
+}
+
+}  // namespace lfll

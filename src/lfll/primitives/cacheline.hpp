@@ -1,0 +1,41 @@
+// Cache-line geometry and alignment helpers.
+//
+// Nodes, locks, and per-thread slots are padded to a cache line so that
+// logically independent hot words never share a line (false sharing is the
+// first-order performance hazard in every structure this library builds).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lfll {
+
+// Fixed at 64 (every mainstream x86-64/ARM server core) rather than
+// std::hardware_destructive_interference_size, whose value shifts with
+// -mtune and would make node layout part of the ABI.
+inline constexpr std::size_t cacheline_size = 64;
+
+/// Pads T out to a full cache line. T must be no larger than a line for the
+/// padding to be meaningful; larger Ts are simply aligned.
+template <typename T>
+struct alignas(cacheline_size) padded {
+    T value{};
+
+    T& operator*() noexcept { return value; }
+    const T& operator*() const noexcept { return value; }
+    T* operator->() noexcept { return &value; }
+    const T* operator->() const noexcept { return &value; }
+};
+
+/// CPU relax hint for spin loops (PAUSE on x86, YIELD on ARM).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace lfll

@@ -1,0 +1,48 @@
+// Test&Set and Fetch&Add built from Compare&Swap alone.
+//
+// Paper footnote 1: "We also use Test&Set and Fetch&Add; however, these
+// are easily implemented with Compare&Swap." The library proper uses the
+// hardware RMWs through std::atomic, but this header makes the footnote
+// executable — the algorithms genuinely need nothing beyond single-word
+// CAS — and the tests verify the emulations against the native ops.
+// Both emulations are lock-free: a failed CAS means another thread's op
+// completed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfll::cas_only {
+
+/// Fetch&Add via a CAS loop. Returns the previous value.
+template <typename T>
+T fetch_add(std::atomic<T>& target, T delta) noexcept {
+    T old = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(old, static_cast<T>(old + delta),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+    return old;
+}
+
+/// Test&Set via CAS. Returns the previous value (true = was already set).
+inline bool test_and_set(std::atomic<bool>& flag) noexcept {
+    bool old = flag.load(std::memory_order_relaxed);
+    do {
+        if (old) return true;  // already set; CAS would be a no-op
+    } while (!flag.compare_exchange_weak(old, true, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed));
+    return false;
+}
+
+/// Swap (exchange) via CAS, for completeness.
+template <typename T>
+T exchange(std::atomic<T>& target, T desired) noexcept {
+    T old = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(old, desired, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+    return old;
+}
+
+}  // namespace lfll::cas_only

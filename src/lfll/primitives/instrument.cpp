@@ -1,0 +1,80 @@
+#include "lfll/primitives/instrument.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace lfll {
+
+op_counters& op_counters::operator+=(const op_counters& o) noexcept {
+    safe_reads += o.safe_reads;
+    saferead_retries += o.saferead_retries;
+    cas_attempts += o.cas_attempts;
+    cas_failures += o.cas_failures;
+    insert_retries += o.insert_retries;
+    delete_retries += o.delete_retries;
+    aux_hops += o.aux_hops;
+    aux_compactions += o.aux_compactions;
+    cells_traversed += o.cells_traversed;
+    nodes_allocated += o.nodes_allocated;
+    nodes_reclaimed += o.nodes_reclaimed;
+    return *this;
+}
+
+namespace instrument {
+namespace {
+
+struct registry {
+    std::mutex mu;
+    std::vector<const op_counters*> live;
+    op_counters retired;  // folded-in totals of exited threads
+
+    static registry& get() {
+        static registry r;
+        return r;
+    }
+};
+
+// Registers on first use in a thread; folds into `retired` on thread exit.
+struct tls_slot {
+    op_counters counters;
+
+    tls_slot() {
+        auto& r = registry::get();
+        std::lock_guard lk(r.mu);
+        r.live.push_back(&counters);
+    }
+
+    ~tls_slot() {
+        auto& r = registry::get();
+        std::lock_guard lk(r.mu);
+        r.retired += counters;
+        std::erase(r.live, &counters);
+    }
+};
+
+}  // namespace
+
+op_counters& tls() {
+    thread_local tls_slot slot;
+    return slot.counters;
+}
+
+op_counters snapshot() {
+    auto& r = registry::get();
+    std::lock_guard lk(r.mu);
+    op_counters total = r.retired;
+    for (const op_counters* c : r.live) total += *c;
+    return total;
+}
+
+void reset() {
+    auto& r = registry::get();
+    std::lock_guard lk(r.mu);
+    r.retired = {};
+    for (const op_counters* c : r.live) {
+        *const_cast<op_counters*>(c) = {};
+    }
+}
+
+}  // namespace instrument
+}  // namespace lfll

@@ -1,0 +1,90 @@
+// MCS queue lock (Mellor-Crummey & Scott [20]).
+//
+// Each waiter spins on its own cache line; the lock word holds the queue
+// tail. This is the strongest spin-lock baseline in E1: the paper's claim
+// is that the lock-free list is competitive even with scalable locks.
+#pragma once
+
+#include <atomic>
+
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll {
+
+class mcs_lock {
+public:
+    /// Per-acquisition queue node. Lives on the caller's stack inside
+    /// mcs_lock::guard; a thread may hold several MCS locks at once as long
+    /// as each uses a distinct guard.
+    struct alignas(cacheline_size) qnode {
+        std::atomic<qnode*> next{nullptr};
+        std::atomic<bool> locked{false};
+    };
+
+    void lock(qnode& me) noexcept {
+        me.next.store(nullptr, std::memory_order_relaxed);
+        me.locked.store(true, std::memory_order_relaxed);
+        qnode* prev = tail_.exchange(&me, std::memory_order_acq_rel);
+        if (prev != nullptr) {
+            prev->next.store(&me, std::memory_order_release);
+            while (me.locked.load(std::memory_order_acquire)) {
+                cpu_relax();
+            }
+        }
+    }
+
+    void unlock(qnode& me) noexcept {
+        qnode* successor = me.next.load(std::memory_order_acquire);
+        if (successor == nullptr) {
+            qnode* expected = &me;
+            if (tail_.compare_exchange_strong(expected, nullptr,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+                return;  // no one was waiting
+            }
+            // A waiter swapped itself into the tail but has not linked yet.
+            do {
+                successor = me.next.load(std::memory_order_acquire);
+                cpu_relax();
+            } while (successor == nullptr);
+        }
+        successor->locked.store(false, std::memory_order_release);
+    }
+
+    /// RAII acquisition; owns the queue node so callers cannot misuse it.
+    class guard {
+    public:
+        explicit guard(mcs_lock& lk) noexcept : lock_(lk) { lock_.lock(node_); }
+        ~guard() { lock_.unlock(node_); }
+        guard(const guard&) = delete;
+        guard& operator=(const guard&) = delete;
+
+    private:
+        mcs_lock& lock_;
+        qnode node_;
+    };
+
+private:
+    alignas(cacheline_size) std::atomic<qnode*> tail_{nullptr};
+};
+
+/// Adapter giving mcs_lock the BasicLockable interface so that the
+/// coarse-locked baseline structures can be templated over lock type.
+/// Each lock()/unlock() pair uses a single thread_local qnode shared by
+/// all adapter instances, so a thread must hold at most one
+/// mcs_basic_lock at a time (true for the coarse-locked baselines).
+/// Structures that nest locks (lock coupling) must use a different lock.
+class mcs_basic_lock {
+public:
+    void lock() noexcept { lock_.lock(node()); }
+    void unlock() noexcept { lock_.unlock(node()); }
+
+private:
+    mcs_lock::qnode& node() noexcept {
+        thread_local mcs_lock::qnode tls_node;
+        return tls_node;
+    }
+    mcs_lock lock_;
+};
+
+}  // namespace lfll

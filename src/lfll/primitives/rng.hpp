@@ -1,0 +1,57 @@
+// Small deterministic PRNGs for workload generation and jitter.
+//
+// Benchmarks and stress tests must be reproducible and must not share
+// state between threads, so each thread owns one of these by value.
+#pragma once
+
+#include <cstdint>
+
+namespace lfll {
+
+/// SplitMix64: used to expand a single seed into stream seeds.
+class splitmix64 {
+public:
+    explicit splitmix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xorshift64*: fast per-thread generator.
+class xorshift64 {
+public:
+    explicit xorshift64(std::uint64_t seed) noexcept {
+        // Never allow the all-zero state.
+        splitmix64 sm(seed);
+        state_ = sm.next() | 1ULL;
+    }
+
+    std::uint64_t next() noexcept {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /// Uniform integer in [0, bound). bound must be nonzero.
+    std::uint64_t next_below(std::uint64_t bound) noexcept { return next() % bound; }
+
+    /// Uniform double in [0, 1).
+    double next_double() noexcept {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace lfll

@@ -1,0 +1,57 @@
+// Test&Set and Test-and-Test&Set spin locks.
+//
+// These are the paper's §1 comparators: "a number of efficient spin locking
+// techniques have been developed [3, 8, 20]". All locks in this header and
+// its siblings satisfy BasicLockable so they compose with std::lock_guard
+// (CP.20: RAII, never plain lock()/unlock()).
+#pragma once
+
+#include <atomic>
+
+#include "lfll/primitives/backoff.hpp"
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll {
+
+/// Naive Test&Set lock: every acquire attempt is a bus-locking RMW.
+/// Included as the worst-case baseline the literature measures against.
+class alignas(cacheline_size) tas_lock {
+public:
+    void lock() noexcept {
+        while (flag_.exchange(true, std::memory_order_acquire)) {
+            cpu_relax();
+        }
+    }
+
+    bool try_lock() noexcept { return !flag_.exchange(true, std::memory_order_acquire); }
+
+    void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+private:
+    std::atomic<bool> flag_{false};
+};
+
+/// Test-and-Test&Set with exponential backoff: spin on a plain load and
+/// only attempt the RMW when the lock looks free.
+class alignas(cacheline_size) ttas_lock {
+public:
+    void lock() noexcept {
+        backoff bo;
+        for (;;) {
+            while (flag_.load(std::memory_order_relaxed)) bo();
+            if (!flag_.exchange(true, std::memory_order_acquire)) return;
+        }
+    }
+
+    bool try_lock() noexcept {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+private:
+    std::atomic<bool> flag_{false};
+};
+
+}  // namespace lfll

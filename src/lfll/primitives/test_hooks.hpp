@@ -1,0 +1,36 @@
+// Scheduling-chaos injection points.
+//
+// On this one-core container, true simultaneous CAS conflicts are rare:
+// a thread runs a whole quantum alone, so stress tests explore few
+// interleavings. Translation units compiled with LFLL_SCHED_CHAOS get a
+// randomized yield at every synchronization-relevant step (SafeRead,
+// Release, pointer swings), which forces context switches exactly where
+// the algorithms are most sensitive — a cheap model checker.
+//
+// The hook compiles to nothing in normal builds; only the dedicated
+// chaos stress tests define the macro (see tests/chaos/).
+#pragma once
+
+#ifdef LFLL_SCHED_CHAOS
+#include <cstdint>
+#include <thread>
+#endif
+
+namespace lfll::testing_hooks {
+
+#ifdef LFLL_SCHED_CHAOS
+inline void chaos_point() noexcept {
+    // Cheap xorshift; deliberately not lfll::xorshift64 to keep this
+    // header dependency-free for the hot paths that include it.
+    thread_local std::uint64_t state =
+        0x9e3779b97f4a7c15ULL ^ reinterpret_cast<std::uintptr_t>(&state);
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    if ((state & 0x1f) == 0) std::this_thread::yield();  // ~3% of points
+}
+#else
+inline void chaos_point() noexcept {}
+#endif
+
+}  // namespace lfll::testing_hooks

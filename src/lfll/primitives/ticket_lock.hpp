@@ -1,0 +1,42 @@
+// Ticket lock: FIFO-fair spin lock (Mellor-Crummey & Scott [20], §2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll {
+
+/// Fetch&Add-based ticket lock. Fair (FIFO grant order) but all waiters
+/// spin on the same word, so it scales worse than MCS under heavy
+/// contention — exactly the trade-off the E1 benchmark surfaces.
+class alignas(cacheline_size) ticket_lock {
+public:
+    void lock() noexcept {
+        const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+        while (serving_.load(std::memory_order_acquire) != my) {
+            cpu_relax();
+        }
+    }
+
+    bool try_lock() noexcept {
+        std::uint32_t serving = serving_.load(std::memory_order_relaxed);
+        std::uint32_t expected = serving;
+        // Only take a ticket if it would be served immediately.
+        return next_.compare_exchange_strong(expected, serving + 1,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed);
+    }
+
+    void unlock() noexcept {
+        serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+    }
+
+private:
+    std::atomic<std::uint32_t> next_{0};
+    alignas(cacheline_size) std::atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace lfll

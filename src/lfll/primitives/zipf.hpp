@@ -1,0 +1,51 @@
+// Zipfian key-distribution generator (Gray et al. rejection-inversion
+// style, precomputed CDF for small universes).
+//
+// The hash-table experiment (E4) assumes "the hash function evenly
+// distributes the operations across the lists"; the Zipf generator lets the
+// benchmarks also show what happens when it does not.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "lfll/primitives/rng.hpp"
+
+namespace lfll {
+
+/// Zipf(theta) over {0, .., n-1}. theta = 0 is uniform; theta ~ 0.99 is the
+/// YCSB default hot-spot skew. Uses an explicit CDF (O(n) memory,
+/// O(log n) sampling), which is fine for benchmark universes (<= millions).
+class zipf_generator {
+public:
+    zipf_generator(std::uint64_t n, double theta) : cdf_(n) {
+        double sum = 0.0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf_[i] = sum;
+        }
+        for (auto& c : cdf_) c /= sum;
+    }
+
+    std::uint64_t operator()(xorshift64& rng) const noexcept {
+        const double u = rng.next_double();
+        // Binary search for the first cdf entry >= u.
+        std::size_t lo = 0, hi = cdf_.size();
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo < cdf_.size() ? lo : cdf_.size() - 1;
+    }
+
+    std::uint64_t universe() const noexcept { return cdf_.size(); }
+
+private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace lfll

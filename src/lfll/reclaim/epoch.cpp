@@ -1,0 +1,98 @@
+#include "lfll/reclaim/epoch.hpp"
+
+#include <cassert>
+
+namespace lfll {
+
+epoch_domain::epoch_domain(int max_threads, std::size_t advance_threshold)
+    : ctxs_(static_cast<std::size_t>(max_threads)), advance_threshold_(advance_threshold) {
+    for (int c = static_cast<int>(ctxs_.size()) - 1; c >= 0; --c) {
+        ctxs_[c].next_free.store(free_head_.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+        free_head_.store(c, std::memory_order_relaxed);
+    }
+}
+
+epoch_domain::~epoch_domain() {
+    for (auto& ctx : ctxs_) {
+        for (auto& bucket : ctx.buckets) {
+            for (auto& r : bucket) r.deleter(r.ptr);
+            bucket.clear();
+        }
+    }
+}
+
+int epoch_domain::acquire_ctx() {
+    for (;;) {
+        int head = free_head_.load(std::memory_order_acquire);
+        assert(head >= 0 && "epoch_domain: more concurrent pins than max_threads");
+        const int next = ctxs_[head].next_free.load(std::memory_order_acquire);
+        if (free_head_.compare_exchange_weak(head, next, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            return head;
+        }
+    }
+}
+
+void epoch_domain::release_ctx(int c) {
+    int head = free_head_.load(std::memory_order_acquire);
+    do {
+        ctxs_[c].next_free.store(head, std::memory_order_release);
+    } while (!free_head_.compare_exchange_weak(head, c, std::memory_order_acq_rel,
+                                               std::memory_order_acquire));
+}
+
+epoch_domain::pin::pin(epoch_domain& d) : dom_(d), ctx_(d.acquire_ctx()) {
+    epoch_ = dom_.global_epoch_.load(std::memory_order_acquire);
+    // seq_cst: the activity announcement must be visible to any advancer
+    // before we read shared pointers.
+    dom_.ctxs_[ctx_].state.store(2 * epoch_ + 1, std::memory_order_seq_cst);
+}
+
+epoch_domain::pin::~pin() {
+    dom_.ctxs_[ctx_].state.store(0, std::memory_order_release);
+    dom_.release_ctx(ctx_);
+}
+
+void epoch_domain::pin::retire(void* p, void (*deleter)(void*)) {
+    auto& bucket = dom_.ctxs_[ctx_].buckets[epoch_ % kBuckets];
+    bucket.push_back({p, deleter});
+    const std::size_t total = dom_.retired_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (total >= dom_.advance_threshold_) dom_.try_advance();
+}
+
+void epoch_domain::try_advance() {
+    if (advancing_.test_and_set(std::memory_order_acquire)) return;  // someone else is at it
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    bool all_current = true;
+    for (const auto& ctx : ctxs_) {
+        const std::uint64_t s = ctx.state.load(std::memory_order_seq_cst);
+        if (s != 0 && (s >> 1) != e) {
+            all_current = false;
+            break;
+        }
+    }
+    if (all_current) {
+        global_epoch_.store(e + 1, std::memory_order_seq_cst);
+        // Nodes retired in epoch e-1 are now unreachable by any pin: every
+        // active thread was verified to be in e, and new pins start in e+1.
+        free_bucket((e - 1) % kBuckets);
+    }
+    advancing_.clear(std::memory_order_release);
+}
+
+void epoch_domain::free_bucket(std::size_t idx) {
+    for (auto& ctx : ctxs_) {
+        auto& bucket = ctx.buckets[idx];
+        if (bucket.empty()) continue;
+        retired_total_.fetch_sub(bucket.size(), std::memory_order_relaxed);
+        for (auto& r : bucket) r.deleter(r.ptr);
+        bucket.clear();
+    }
+}
+
+void epoch_domain::drain() {
+    for (int i = 0; i < 2 * kBuckets; ++i) try_advance();
+}
+
+}  // namespace lfll

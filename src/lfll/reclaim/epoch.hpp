@@ -1,0 +1,96 @@
+// Epoch-based reclamation (3-epoch EBR, Fraser-style).
+//
+// Second alternative reclaimer for the A2 ablation. Readers pin the
+// current global epoch; retired nodes are banked by retirement epoch and
+// freed two advances later, when no pinned thread can still reference
+// them. Reads are plain loads (no per-node traffic), which is exactly the
+// contrast with the paper's SafeRead that E7/A2 measure.
+//
+// The pin surface is duck-type-compatible with hazard_domain::pin so the
+// Harris-Michael list can be templated over the reclaimer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll {
+
+class epoch_domain {
+public:
+    explicit epoch_domain(int max_threads = 64, std::size_t advance_threshold = 64);
+    ~epoch_domain();
+
+    epoch_domain(const epoch_domain&) = delete;
+    epoch_domain& operator=(const epoch_domain&) = delete;
+
+    class pin {
+    public:
+        explicit pin(epoch_domain& d);
+        ~pin();
+
+        pin(const pin&) = delete;
+        pin& operator=(const pin&) = delete;
+
+        /// Under EBR a protected read is just a load: the pinned epoch
+        /// already guarantees liveness. Slot/mask kept for API symmetry.
+        template <typename T>
+        T* protect(int /*slot*/, const std::atomic<T*>& src) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+
+        std::uintptr_t protect_raw(int /*slot*/, const std::atomic<std::uintptr_t>& src,
+                                   std::uintptr_t /*mask*/) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+
+        void set(int, void*) noexcept {}
+        void clear(int) noexcept {}
+        void clear_all() noexcept {}
+
+        void retire(void* p, void (*deleter)(void*));
+
+    private:
+        epoch_domain& dom_;
+        int ctx_;
+        std::uint64_t epoch_;
+    };
+
+    std::size_t retired_count() const noexcept {
+        return retired_total_.load(std::memory_order_relaxed);
+    }
+
+    /// Advance until nothing retired remains. Quiescent use only.
+    void drain();
+
+private:
+    static constexpr int kBuckets = 3;
+
+    struct retired_node {
+        void* ptr;
+        void (*deleter)(void*);
+    };
+
+    struct alignas(cacheline_size) thread_ctx {
+        /// 0 = quiescent, else 2*epoch+1.
+        std::atomic<std::uint64_t> state{0};
+        std::vector<retired_node> buckets[kBuckets];
+        std::atomic<int> next_free{-1};
+    };
+
+    int acquire_ctx();
+    void release_ctx(int c);
+    void try_advance();
+    void free_bucket(std::size_t idx);
+
+    std::vector<thread_ctx> ctxs_;
+    std::atomic<int> free_head_{-1};
+    alignas(cacheline_size) std::atomic<std::uint64_t> global_epoch_{2};
+    std::atomic_flag advancing_ = ATOMIC_FLAG_INIT;
+    std::atomic<std::size_t> retired_total_{0};
+    std::size_t advance_threshold_;
+};
+
+}  // namespace lfll

@@ -1,0 +1,100 @@
+#include "lfll/reclaim/hazard_pointers.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lfll {
+
+hazard_domain::hazard_domain(int max_threads, std::size_t scan_threshold)
+    : groups_(static_cast<std::size_t>(max_threads)), scan_threshold_(scan_threshold) {
+    // Build the slot-group free list.
+    for (int g = static_cast<int>(groups_.size()) - 1; g >= 0; --g) {
+        for (auto& h : groups_[g].hp) h.store(nullptr, std::memory_order_relaxed);
+        groups_[g].next_free.store(free_head_.load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
+        free_head_.store(g, std::memory_order_relaxed);
+    }
+}
+
+hazard_domain::~hazard_domain() { drain(); }
+
+int hazard_domain::acquire_group() {
+    for (;;) {
+        int head = free_head_.load(std::memory_order_acquire);
+        assert(head >= 0 && "hazard_domain: more concurrent pins than max_threads");
+        const int next = groups_[head].next_free.load(std::memory_order_acquire);
+        if (free_head_.compare_exchange_weak(head, next, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+            return head;
+        }
+    }
+}
+
+void hazard_domain::release_group(int g) {
+    int head = free_head_.load(std::memory_order_acquire);
+    do {
+        groups_[g].next_free.store(head, std::memory_order_release);
+    } while (!free_head_.compare_exchange_weak(head, g, std::memory_order_acq_rel,
+                                               std::memory_order_acquire));
+}
+
+hazard_domain::pin::pin(hazard_domain& d) : dom_(d), group_(d.acquire_group()) {}
+
+hazard_domain::pin::~pin() {
+    clear_all();
+    // The group's retired list stays with the group; whoever claims it next
+    // inherits the backlog, and the destructor/drain sweeps leftovers.
+    dom_.release_group(group_);
+}
+
+void hazard_domain::pin::set(int slot, void* p) noexcept {
+    // seq_cst: the store must be ordered before the revalidation load in
+    // protect(), and visible to any retirer's scan.
+    dom_.groups_[group_].hp[slot].store(p, std::memory_order_seq_cst);
+}
+
+void hazard_domain::pin::clear(int slot) noexcept {
+    dom_.groups_[group_].hp[slot].store(nullptr, std::memory_order_release);
+}
+
+void hazard_domain::pin::clear_all() noexcept {
+    for (int i = 0; i < slots_per_thread; ++i) clear(i);
+}
+
+void hazard_domain::pin::retire(void* p, void (*deleter)(void*)) {
+    auto& retired = dom_.groups_[group_].retired;
+    retired.push_back({p, deleter});
+    dom_.retired_total_.fetch_add(1, std::memory_order_relaxed);
+    if (retired.size() >= dom_.scan_threshold_) dom_.scan(retired);
+}
+
+void hazard_domain::scan(std::vector<retired_node>& retired) {
+    std::vector<void*> hazards;
+    hazards.reserve(groups_.size() * slots_per_thread);
+    for (const auto& g : groups_) {
+        for (const auto& h : g.hp) {
+            void* p = h.load(std::memory_order_seq_cst);
+            if (p != nullptr) hazards.push_back(p);
+        }
+    }
+    std::sort(hazards.begin(), hazards.end());
+    std::vector<retired_node> keep;
+    keep.reserve(retired.size());
+    for (const retired_node& r : retired) {
+        if (std::binary_search(hazards.begin(), hazards.end(), r.ptr)) {
+            keep.push_back(r);
+        } else {
+            r.deleter(r.ptr);
+            retired_total_.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+    retired.swap(keep);
+}
+
+void hazard_domain::drain() {
+    for (auto& g : groups_) {
+        if (!g.retired.empty()) scan(g.retired);
+    }
+}
+
+}  // namespace lfll

@@ -1,0 +1,114 @@
+// Hazard-pointer safe memory reclamation (Michael, 2004 style).
+//
+// Not part of the paper — the paper's answer to reclamation is reference
+// counting (§5) — but the A2 ablation asks how the Valois counted scheme
+// compares to the alternatives that later became standard, and the
+// Harris-Michael baseline list (S12) needs one of them. This is a compact,
+// fully functional domain: per-thread hazard slots, per-slot retired
+// lists, and an O(R log H) scan.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll {
+
+class hazard_domain {
+public:
+    static constexpr int slots_per_thread = 4;
+
+    explicit hazard_domain(int max_threads = 64, std::size_t scan_threshold = 64);
+    ~hazard_domain();
+
+    hazard_domain(const hazard_domain&) = delete;
+    hazard_domain& operator=(const hazard_domain&) = delete;
+
+    /// RAII thread participation: claims a hazard-slot group for the
+    /// scope. Construct one per operation (cheap: one lock-free pop/push).
+    class pin {
+    public:
+        explicit pin(hazard_domain& d);
+        ~pin();
+
+        pin(const pin&) = delete;
+        pin& operator=(const pin&) = delete;
+
+        /// Protect-and-validate load: afterwards the returned pointer is
+        /// safe to dereference until the slot is overwritten or the pin
+        /// dies, even if it is concurrently retired.
+        template <typename T>
+        T* protect(int slot, const std::atomic<T*>& src) {
+            T* p = src.load(std::memory_order_acquire);
+            for (;;) {
+                set(slot, p);
+                T* q = src.load(std::memory_order_acquire);
+                if (q == p) return p;
+                p = q;
+            }
+        }
+
+        /// As protect(), for tagged-pointer words: `mask` bits are cleared
+        /// before the address is published as hazardous (the mark bit of a
+        /// Harris-style next pointer is not part of the address).
+        std::uintptr_t protect_raw(int slot, const std::atomic<std::uintptr_t>& src,
+                                   std::uintptr_t mask) {
+            std::uintptr_t v = src.load(std::memory_order_acquire);
+            for (;;) {
+                set(slot, reinterpret_cast<void*>(v & ~mask));
+                const std::uintptr_t w = src.load(std::memory_order_acquire);
+                if (w == v) return v;
+                v = w;
+            }
+        }
+
+        /// Publish an already-validated pointer (e.g. copying a hazard
+        /// from one slot to another while both are live).
+        void set(int slot, void* p) noexcept;
+
+        void clear(int slot) noexcept;
+        void clear_all() noexcept;
+
+        /// Hand `p` to the domain; `deleter(p)` runs once no hazard slot
+        /// protects it.
+        void retire(void* p, void (*deleter)(void*));
+
+    private:
+        hazard_domain& dom_;
+        int group_;
+    };
+
+    /// Nodes retired but not yet freed (approximate; for tests/benches).
+    std::size_t retired_count() const noexcept {
+        return retired_total_.load(std::memory_order_relaxed);
+    }
+
+    /// Force a full scan from outside any pin (quiescent use in tests).
+    void drain();
+
+private:
+    struct retired_node {
+        void* ptr;
+        void (*deleter)(void*);
+    };
+
+    struct alignas(cacheline_size) slot_group {
+        std::atomic<void*> hp[slots_per_thread];
+        std::vector<retired_node> retired;  // owned by the pin holder
+        std::atomic<int> next_free{-1};     // slot-group free list link
+    };
+
+    int acquire_group();
+    void release_group(int g);
+    void scan(std::vector<retired_node>& retired);
+
+    std::vector<slot_group> groups_;
+    std::atomic<int> free_head_{-1};
+    std::atomic<std::size_t> retired_total_{0};
+    std::size_t scan_threshold_;
+};
+
+}  // namespace lfll

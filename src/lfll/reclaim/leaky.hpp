@@ -1,0 +1,80 @@
+// "Leaky" reclaimer: retired nodes are parked until domain destruction.
+//
+// This is the zero-overhead floor for the A2/E7 ablations — reads are
+// plain loads and retirement is a single stack push — at the cost of
+// unbounded memory growth. Never use outside benchmarks; it exists to
+// isolate how much of the Valois scheme's cost is reclamation traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace lfll {
+
+class leaky_domain {
+public:
+    leaky_domain() = default;
+
+    ~leaky_domain() {
+        parked* p = head_.exchange(nullptr, std::memory_order_acquire);
+        while (p != nullptr) {
+            parked* next = p->next;
+            p->deleter(p->ptr);
+            delete p;
+            p = next;
+        }
+    }
+
+    leaky_domain(const leaky_domain&) = delete;
+    leaky_domain& operator=(const leaky_domain&) = delete;
+
+    class pin {
+    public:
+        explicit pin(leaky_domain& d) noexcept : dom_(d) {}
+
+        template <typename T>
+        T* protect(int /*slot*/, const std::atomic<T*>& src) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+
+        std::uintptr_t protect_raw(int /*slot*/, const std::atomic<std::uintptr_t>& src,
+                                   std::uintptr_t /*mask*/) noexcept {
+            return src.load(std::memory_order_acquire);
+        }
+
+        void set(int, void*) noexcept {}
+        void clear(int) noexcept {}
+        void clear_all() noexcept {}
+
+        void retire(void* p, void (*deleter)(void*)) { dom_.park(p, deleter); }
+
+    private:
+        leaky_domain& dom_;
+    };
+
+    std::size_t retired_count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    void drain() noexcept {}  // by design, nothing to do until destruction
+
+private:
+    struct parked {
+        void* ptr;
+        void (*deleter)(void*);
+        parked* next;
+    };
+
+    void park(void* p, void (*deleter)(void*)) {
+        parked* node = new parked{p, deleter, head_.load(std::memory_order_acquire)};
+        while (!head_.compare_exchange_weak(node->next, node, std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        }
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::atomic<parked*> head_{nullptr};
+    std::atomic<std::size_t> count_{0};
+};
+
+}  // namespace lfll

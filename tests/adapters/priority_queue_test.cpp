@@ -1,0 +1,162 @@
+// Priority-queue adapter: ordered pops, FIFO within a priority class,
+// duplicates, custom comparators, and MPMC sum conservation.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "lfll/adapters/priority_queue.hpp"
+#include "lfll/core/audit.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+TEST(PriorityQueue, PopsInPriorityOrder) {
+    lf_priority_queue<int, char> pq(64);
+    pq.push(3, 'c');
+    pq.push(1, 'a');
+    pq.push(2, 'b');
+    EXPECT_EQ(pq.pop()->second, 'a');
+    EXPECT_EQ(pq.pop()->second, 'b');
+    EXPECT_EQ(pq.pop()->second, 'c');
+    EXPECT_EQ(pq.pop(), std::nullopt);
+}
+
+TEST(PriorityQueue, FifoWithinEqualPriority) {
+    lf_priority_queue<int, int> pq(64);
+    pq.push(5, 1);
+    pq.push(5, 2);
+    pq.push(5, 3);
+    EXPECT_EQ(pq.pop()->second, 1);
+    EXPECT_EQ(pq.pop()->second, 2);
+    EXPECT_EQ(pq.pop()->second, 3);
+}
+
+TEST(PriorityQueue, DuplicatePrioritiesAllowed) {
+    lf_priority_queue<int, int> pq(64);
+    for (int i = 0; i < 10; ++i) pq.push(7, i);
+    EXPECT_EQ(pq.size_slow(), 10u);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(pq.pop()->second, i);
+}
+
+TEST(PriorityQueue, PeekDoesNotRemove) {
+    lf_priority_queue<int, int> pq(16);
+    pq.push(2, 20);
+    pq.push(1, 10);
+    EXPECT_EQ(pq.peek()->second, 10);
+    EXPECT_EQ(pq.size_slow(), 2u);
+    EXPECT_EQ(pq.pop()->second, 10);
+}
+
+TEST(PriorityQueue, MaxHeapViaComparator) {
+    lf_priority_queue<int, int, std::greater<int>> pq(16);
+    pq.push(1, 10);
+    pq.push(3, 30);
+    pq.push(2, 20);
+    EXPECT_EQ(pq.pop()->first, 3);
+    EXPECT_EQ(pq.pop()->first, 2);
+    EXPECT_EQ(pq.pop()->first, 1);
+}
+
+TEST(PriorityQueue, RandomizedAgainstMultimapOracle) {
+    lf_priority_queue<int, int> pq(512);
+    std::multimap<int, int> oracle;
+    xorshift64 rng(77);
+    int ticket = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (oracle.size() < 64 && rng.next() % 2 == 0) {
+            const int prio = static_cast<int>(rng.next_below(10));
+            pq.push(prio, ticket);
+            oracle.emplace(prio, ticket);
+            ++ticket;
+        } else if (!oracle.empty()) {
+            auto got = pq.pop();
+            ASSERT_TRUE(got.has_value());
+            // The oracle's front priority must match; within a class FIFO
+            // means the smallest ticket.
+            auto it = oracle.begin();
+            ASSERT_EQ(got->first, it->first) << "op " << i;
+            ASSERT_EQ(got->second, it->second) << "op " << i;
+            oracle.erase(it);
+        }
+    }
+    auto r = audit_list(pq.list());
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(PriorityQueue, MpmcConservesElements) {
+    lf_priority_queue<int, long> pq(8192);
+    constexpr int kProducers = 3;
+    const int kPerProducer = scaled(2000);
+    std::atomic<long> popped_sum{0};
+    std::atomic<long> popped_count{0};
+    std::atomic<bool> producing{true};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            xorshift64 rng(0x9 + static_cast<std::uint64_t>(p));
+            for (long i = 0; i < kPerProducer; ++i) {
+                pq.push(static_cast<int>(rng.next_below(16)), p * kPerProducer + i);
+            }
+        });
+    }
+    for (int c = 0; c < 3; ++c) {
+        threads.emplace_back([&] {
+            for (;;) {
+                auto v = pq.pop();
+                if (v.has_value()) {
+                    popped_sum.fetch_add(v->second);
+                    popped_count.fetch_add(1);
+                } else if (!producing.load(std::memory_order_acquire)) {
+                    auto v2 = pq.pop();  // must consume, not discard
+                    if (!v2.has_value()) return;
+                    popped_sum.fetch_add(v2->second);
+                    popped_count.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p) threads[p].join();
+    producing.store(false, std::memory_order_release);
+    for (std::size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+    while (auto v = pq.pop()) {
+        popped_sum.fetch_add(v->second);
+        popped_count.fetch_add(1);
+    }
+    const long n = static_cast<long>(kProducers) * kPerProducer;
+    EXPECT_EQ(popped_count.load(), n);
+    EXPECT_EQ(popped_sum.load(), n * (n - 1) / 2);
+    auto r = audit_list(pq.list());
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(PriorityQueue, ConcurrentPopsRespectGlobalOrderApproximately) {
+    // With concurrent poppers, each individual popper's sequence must be
+    // non-decreasing in priority (it always takes the current front).
+    lf_priority_queue<int, int> pq(4096);
+    const int kN = scaled(3000);
+    for (int i = 0; i < kN; ++i) pq.push(i % 50, i);
+    std::vector<std::vector<int>> prios(4);
+    std::vector<std::thread> poppers;
+    for (int t = 0; t < 4; ++t) {
+        poppers.emplace_back([&, t] {
+            while (auto v = pq.pop()) prios[t].push_back(v->first);
+        });
+    }
+    for (auto& th : poppers) th.join();
+    std::size_t total = 0;
+    for (const auto& vec : prios) {
+        EXPECT_TRUE(std::is_sorted(vec.begin(), vec.end()));
+        total += vec.size();
+    }
+    EXPECT_EQ(total, static_cast<std::size_t>(kN));
+}
+
+}  // namespace

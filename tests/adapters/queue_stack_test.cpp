@@ -1,0 +1,161 @@
+// Stack/queue adapters (§1's "building block" claim): LIFO/FIFO order,
+// emptiness, and the classic MPMC checks — no element lost, none
+// duplicated, per-producer order preserved (queue).
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lfll/adapters/queue.hpp"
+#include "lfll/adapters/stack.hpp"
+#include "lfll/core/audit.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+TEST(Stack, LifoOrder) {
+    lf_stack<int> s(64);
+    s.push(1);
+    s.push(2);
+    s.push(3);
+    EXPECT_EQ(s.pop(), 3);
+    EXPECT_EQ(s.pop(), 2);
+    EXPECT_EQ(s.pop(), 1);
+    EXPECT_EQ(s.pop(), std::nullopt);
+}
+
+TEST(Stack, EmptyBehaviour) {
+    lf_stack<int> s(16);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.pop(), std::nullopt);
+    s.push(7);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.size_slow(), 1u);
+}
+
+TEST(Stack, InterleavedPushPop) {
+    lf_stack<int> s(64);
+    s.push(1);
+    s.push(2);
+    EXPECT_EQ(s.pop(), 2);
+    s.push(3);
+    EXPECT_EQ(s.pop(), 3);
+    EXPECT_EQ(s.pop(), 1);
+    auto r = audit_list(s.list());
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Stack, MpmcNoLossNoDuplication) {
+    lf_stack<long> s(4096);
+    constexpr int kProducers = 3, kConsumers = 3;
+    const int kPerProducer = scaled(2000);
+    std::atomic<bool> producing{true};
+    std::vector<std::thread> threads;
+    std::vector<std::vector<long>> popped(kConsumers);
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) s.push(p * kPerProducer + i);
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&, c] {
+            for (;;) {
+                auto v = s.pop();
+                if (v.has_value()) {
+                    popped[c].push_back(*v);
+                } else if (!producing.load(std::memory_order_acquire)) {
+                    auto v2 = s.pop();  // must consume, not discard
+                    if (!v2.has_value()) return;  // confirmed drained
+                    popped[c].push_back(*v2);
+                }
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p) threads[p].join();
+    producing.store(false, std::memory_order_release);
+    for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+    // Drain any remainder.
+    std::set<long> seen;
+    while (auto v = s.pop()) EXPECT_TRUE(seen.insert(*v).second);
+    for (const auto& vec : popped) {
+        for (long v : vec) EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+    auto r = audit_list(s.list());
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Queue, FifoOrder) {
+    lf_queue<int> q(64);
+    q.enqueue(1);
+    q.enqueue(2);
+    q.enqueue(3);
+    EXPECT_EQ(q.dequeue(), 1);
+    EXPECT_EQ(q.dequeue(), 2);
+    EXPECT_EQ(q.dequeue(), 3);
+    EXPECT_EQ(q.dequeue(), std::nullopt);
+}
+
+TEST(Queue, EmptyBehaviour) {
+    lf_queue<int> q(16);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.dequeue(), std::nullopt);
+    q.enqueue(9);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(Queue, SpscPreservesProducerOrder) {
+    lf_queue<int> q(4096);
+    const int kN = scaled(3000);
+    std::thread producer([&] {
+        for (int i = 0; i < kN; ++i) q.enqueue(i);
+    });
+    int expected = 0;
+    while (expected < kN) {
+        auto v = q.dequeue();
+        if (v.has_value()) {
+            ASSERT_EQ(*v, expected);  // FIFO: exactly in-order for SPSC
+            ++expected;
+        }
+    }
+    producer.join();
+    auto r = audit_list(q.list());
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(Queue, MpmcPerProducerOrder) {
+    lf_queue<long> q(8192);
+    constexpr int kProducers = 3;
+    const int kPerProducer = scaled(1000);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) q.enqueue(p * kPerProducer + i);
+        });
+    }
+    std::vector<long> out;
+    std::thread consumer([&] {
+        while (out.size() < kProducers * kPerProducer) {
+            auto v = q.dequeue();
+            if (v.has_value()) out.push_back(*v);
+        }
+    });
+    for (auto& t : producers) t.join();
+    consumer.join();
+    // Per-producer subsequences must be increasing (FIFO per producer).
+    std::vector<long> last(kProducers, -1);
+    for (long v : out) {
+        const int p = static_cast<int>(v / kPerProducer);
+        EXPECT_GT(v, last[p]) << "producer " << p << " reordered";
+        last[p] = v;
+    }
+    EXPECT_EQ(out.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Dedicated Treiber stack on the counted pool: LIFO semantics, node
+// recycling, the §5.1 ABA immunity argument under churn, and MPMC
+// integrity.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lfll/adapters/treiber_stack.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+TEST(TreiberStack, LifoOrder) {
+    treiber_stack<int> s(64);
+    s.push(1);
+    s.push(2);
+    s.push(3);
+    EXPECT_EQ(s.pop(), 3);
+    EXPECT_EQ(s.pop(), 2);
+    EXPECT_EQ(s.pop(), 1);
+    EXPECT_EQ(s.pop(), std::nullopt);
+}
+
+TEST(TreiberStack, EmptyAndSize) {
+    treiber_stack<int> s(16);
+    EXPECT_TRUE(s.empty());
+    s.push(1);
+    s.push(2);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.size_slow(), 2u);
+}
+
+TEST(TreiberStack, NodesRecycle) {
+    treiber_stack<int> s(8);
+    for (int i = 0; i < 500; ++i) {
+        s.push(i);
+        EXPECT_EQ(s.pop(), i);
+    }
+    EXPECT_LE(s.pool().capacity(), 32u);
+    EXPECT_EQ(s.pool().free_count(), s.pool().capacity());
+}
+
+TEST(TreiberStack, MovableValues) {
+    treiber_stack<std::vector<int>> s(16);
+    s.push(std::vector<int>(64, 3));
+    auto v = s.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->size(), 64u);
+    EXPECT_EQ((*v)[63], 3);
+}
+
+TEST(TreiberStack, DestructorDrainsPayloads) {
+    static std::atomic<int> live{0};
+    struct probe {
+        explicit probe(int) { live.fetch_add(1); }
+        probe(const probe&) { live.fetch_add(1); }
+        probe(probe&&) noexcept { live.fetch_add(1); }
+        ~probe() { live.fetch_sub(1); }
+    };
+    live = 0;
+    {
+        treiber_stack<probe> s(16);
+        for (int i = 0; i < 10; ++i) s.push(probe(i));
+    }
+    EXPECT_EQ(live.load(), 0);
+}
+
+TEST(TreiberStack, MpmcNoLossNoDuplication) {
+    treiber_stack<long> s(2048);
+    constexpr int kProducers = 3, kConsumers = 3;
+    const int per_producer = scaled(3000);
+    std::atomic<bool> producing{true};
+    std::vector<std::vector<long>> got(kConsumers);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < per_producer; ++i) s.push(p * per_producer + i);
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&, c] {
+            for (;;) {
+                auto v = s.pop();
+                if (v.has_value()) {
+                    got[c].push_back(*v);
+                } else if (!producing.load(std::memory_order_acquire)) {
+                    auto v2 = s.pop();  // must consume, not discard
+                    if (!v2.has_value()) return;
+                    got[c].push_back(*v2);
+                }
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p) threads[p].join();
+    producing.store(false, std::memory_order_release);
+    for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+    std::set<long> seen;
+    while (auto v = s.pop()) EXPECT_TRUE(seen.insert(*v).second);
+    for (const auto& vec : got) {
+        for (long v : vec) EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers) * per_producer);
+    EXPECT_EQ(s.pool().free_count(), s.pool().capacity());
+}
+
+// §5.1's ABA scenario aimed straight at the stack: tiny pool so popped
+// nodes are immediately recycled and re-pushed at the same addresses.
+// Without the counted references, pop's CAS would install a stale next.
+TEST(TreiberStack, AbaChurnTinyPool) {
+    treiber_stack<int> s(4);
+    std::vector<std::thread> ts;
+    std::atomic<long> pushes{0}, pops{0};
+    for (int t = 0; t < 6; ++t) {
+        ts.emplace_back([&, t] {
+            xorshift64 rng(0xaba + static_cast<std::uint64_t>(t));
+            for (int i = 0; i < scaled(4000); ++i) {
+                if (rng.next() % 2 == 0) {
+                    s.push(t);
+                    pushes.fetch_add(1);
+                } else if (s.pop().has_value()) {
+                    pops.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto& th : ts) th.join();
+    // Conservation: remaining == pushes - pops.
+    long remaining = 0;
+    while (s.pop().has_value()) ++remaining;
+    EXPECT_EQ(remaining, pushes.load() - pops.load());
+    EXPECT_EQ(s.pool().free_count(), s.pool().capacity());
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// The dedicated Valois queue [27]: FIFO semantics, dummy-node behaviour,
+// lagging-tail recovery, MPMC integrity, and pool accounting.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lfll/adapters/valois_queue.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+TEST(ValoisQueue, FifoOrder) {
+    valois_queue<int> q(64);
+    q.enqueue(1);
+    q.enqueue(2);
+    q.enqueue(3);
+    EXPECT_EQ(q.dequeue(), 1);
+    EXPECT_EQ(q.dequeue(), 2);
+    EXPECT_EQ(q.dequeue(), 3);
+    EXPECT_EQ(q.dequeue(), std::nullopt);
+}
+
+TEST(ValoisQueue, EmptyBehaviour) {
+    valois_queue<int> q(16);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.dequeue(), std::nullopt);
+    q.enqueue(5);
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.size_slow(), 1u);
+    EXPECT_EQ(q.dequeue(), 5);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ValoisQueue, InterleavedEnqueueDequeue) {
+    valois_queue<int> q(64);
+    for (int round = 0; round < 100; ++round) {
+        q.enqueue(2 * round);
+        q.enqueue(2 * round + 1);
+        EXPECT_EQ(q.dequeue(), 2 * round);
+        EXPECT_EQ(q.dequeue(), 2 * round + 1);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(ValoisQueue, NodesRecycleThroughPool) {
+    valois_queue<int> q(8);  // tiny pool: forces reuse
+    for (int i = 0; i < 1000; ++i) {
+        q.enqueue(i);
+        EXPECT_EQ(q.dequeue(), i);
+    }
+    // 1000 round trips through a pool of ~8: reuse is mandatory, and no
+    // growth beyond a small constant is acceptable.
+    EXPECT_LE(q.pool().capacity(), 64u);
+}
+
+TEST(ValoisQueue, MoveOnlyishPayloads) {
+    valois_queue<std::vector<int>> q(16);
+    q.enqueue(std::vector<int>(100, 7));
+    q.enqueue(std::vector<int>(50, 9));
+    auto a = q.dequeue();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->size(), 100u);
+    EXPECT_EQ((*a)[0], 7);
+    auto b = q.dequeue();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->size(), 50u);
+}
+
+TEST(ValoisQueue, SpscPreservesOrder) {
+    valois_queue<int> q(1024);
+    const int kN = scaled(5000);
+    std::thread producer([&] {
+        for (int i = 0; i < kN; ++i) q.enqueue(i);
+    });
+    int expected = 0;
+    while (expected < kN) {
+        auto v = q.dequeue();
+        if (v.has_value()) {
+            ASSERT_EQ(*v, expected);
+            ++expected;
+        }
+    }
+    producer.join();
+}
+
+TEST(ValoisQueue, MpmcNoLossNoDuplication) {
+    valois_queue<long> q(4096);
+    constexpr int kProducers = 3, kConsumers = 3;
+    const int kPerProducer = scaled(3000);
+    std::atomic<bool> producing{true};
+    std::vector<std::vector<long>> got(kConsumers);
+    std::vector<std::thread> threads;
+    for (int p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) q.enqueue(p * kPerProducer + i);
+        });
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&, c] {
+            for (;;) {
+                auto v = q.dequeue();
+                if (v.has_value()) {
+                    got[c].push_back(*v);
+                } else if (!producing.load(std::memory_order_acquire)) {
+                    auto v2 = q.dequeue();  // must consume, not discard
+                    if (!v2.has_value()) return;
+                    got[c].push_back(*v2);
+                }
+            }
+        });
+    }
+    for (int p = 0; p < kProducers; ++p) threads[p].join();
+    producing.store(false, std::memory_order_release);
+    for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+    std::set<long> seen;
+    while (auto v = q.dequeue()) EXPECT_TRUE(seen.insert(*v).second);
+    std::vector<long> last(kProducers, -1);
+    for (const auto& vec : got) {
+        for (long v : vec) EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers) * kPerProducer);
+    // Per-producer FIFO: each consumer's stream must be increasing within
+    // a producer's id range.
+    for (const auto& vec : got) {
+        std::vector<long> prev(kProducers, -1);
+        for (long v : vec) {
+            const int p = static_cast<int>(v / kPerProducer);
+            EXPECT_GT(v, prev[p]);
+            prev[p] = v;
+        }
+    }
+}
+
+TEST(ValoisQueue, DrainedQueueReturnsAllNodes) {
+    valois_queue<int> q(128);
+    const std::size_t cap = q.pool().capacity();
+    const std::size_t free0 = q.pool().free_count();
+    for (int i = 0; i < 100; ++i) q.enqueue(i);
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(q.dequeue().has_value());
+    // All but the current dummy (plus possibly the lagging tail target)
+    // must be back on the free list.
+    EXPECT_EQ(q.pool().capacity(), cap);
+    EXPECT_GE(q.pool().free_count() + 2, free0);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Harris-Michael list semantics and stress, across all three reclaimers.
+// Typed test suite: every behaviour must hold regardless of reclamation.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lfll/baseline/harris_michael_list.hpp"
+#include "lfll/primitives/rng.hpp"
+#include "lfll/reclaim/epoch.hpp"
+#include "lfll/reclaim/leaky.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+template <typename Domain>
+struct HarrisMichael : public ::testing::Test {
+    using list_t = harris_michael_list<int, int, Domain>;
+};
+
+using Domains = ::testing::Types<hazard_domain, epoch_domain, leaky_domain>;
+TYPED_TEST_SUITE(HarrisMichael, Domains);
+
+TYPED_TEST(HarrisMichael, InsertFindErase) {
+    typename TestFixture::list_t l;
+    EXPECT_TRUE(l.insert(2, 20));
+    EXPECT_TRUE(l.insert(1, 10));
+    EXPECT_TRUE(l.insert(3, 30));
+    EXPECT_EQ(l.find(1), 10);
+    EXPECT_EQ(l.find(2), 20);
+    EXPECT_EQ(l.find(3), 30);
+    EXPECT_EQ(l.find(4), std::nullopt);
+    EXPECT_TRUE(l.erase(2));
+    EXPECT_FALSE(l.contains(2));
+    EXPECT_FALSE(l.erase(2));
+    EXPECT_EQ(l.size_slow(), 2u);
+}
+
+TYPED_TEST(HarrisMichael, DuplicateInsertRejected) {
+    typename TestFixture::list_t l;
+    EXPECT_TRUE(l.insert(5, 1));
+    EXPECT_FALSE(l.insert(5, 2));
+    EXPECT_EQ(l.find(5), 1);
+}
+
+TYPED_TEST(HarrisMichael, EraseFromEmptyFails) {
+    typename TestFixture::list_t l;
+    EXPECT_FALSE(l.erase(7));
+}
+
+TYPED_TEST(HarrisMichael, ManyKeysRoundTrip) {
+    typename TestFixture::list_t l;
+    for (int k = 0; k < 300; ++k) ASSERT_TRUE(l.insert(k, k * 2));
+    for (int k = 0; k < 300; ++k) ASSERT_EQ(l.find(k), k * 2);
+    for (int k = 0; k < 300; k += 3) ASSERT_TRUE(l.erase(k));
+    for (int k = 0; k < 300; ++k) ASSERT_EQ(l.contains(k), k % 3 != 0);
+}
+
+TYPED_TEST(HarrisMichael, ConcurrentSetSemantics) {
+    typename TestFixture::list_t l;
+    constexpr int kThreads = 6;
+    constexpr int kKeys = 32;
+    const int kOps = scaled(3000);
+    std::vector<std::vector<long>> ins(kThreads, std::vector<long>(kKeys, 0));
+    std::vector<std::vector<long>> del(kThreads, std::vector<long>(kKeys, 0));
+    std::atomic<bool> go{false};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            xorshift64 rng(0xbeef + static_cast<std::uint64_t>(t) * 31337);
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kOps; ++i) {
+                const int k = static_cast<int>(rng.next_below(kKeys));
+                switch (rng.next() % 3) {
+                    case 0:
+                        if (l.insert(k, k + 100)) ins[t][k]++;
+                        break;
+                    case 1:
+                        if (l.erase(k)) del[t][k]++;
+                        break;
+                    default: {
+                        auto v = l.find(k);
+                        if (v.has_value()) {
+                            EXPECT_EQ(*v, k + 100);
+                        }
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : ts) th.join();
+
+    for (int k = 0; k < kKeys; ++k) {
+        long balance = 0;
+        for (int t = 0; t < kThreads; ++t) balance += ins[t][k] - del[t][k];
+        ASSERT_GE(balance, 0) << "key " << k;
+        ASSERT_LE(balance, 1) << "key " << k;
+        EXPECT_EQ(balance == 1, l.contains(k)) << "key " << k;
+    }
+}
+
+TEST(HarrisMichaelHP, RetiredNodesAreEventuallyFreed) {
+    harris_michael_list<int, int, hazard_domain> l;
+    for (int round = 0; round < scaled(500); ++round) {
+        ASSERT_TRUE(l.insert(1, round));
+        ASSERT_TRUE(l.erase(1));
+    }
+    l.domain().drain();
+    // 500 nodes retired; after drain at most a scan-threshold's worth may
+    // linger in per-group lists (none should be protected).
+    EXPECT_EQ(l.domain().retired_count(), 0u);
+}
+
+}  // namespace

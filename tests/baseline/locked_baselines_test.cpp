@@ -1,0 +1,166 @@
+// Locked and universal baselines: identical semantics to the lock-free
+// dictionary, verified with the same ledger technique so benches compare
+// apples to apples.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lfll/baseline/coarse_list.hpp"
+#include "lfll/baseline/fine_list.hpp"
+#include "lfll/baseline/locked_hash_map.hpp"
+#include "lfll/baseline/universal_set.hpp"
+#include "lfll/primitives/mcs_lock.hpp"
+#include "lfll/primitives/rng.hpp"
+#include "lfll/primitives/ticket_lock.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+template <typename Map>
+void check_basic_semantics(Map& m) {
+    EXPECT_TRUE(m.insert(2, 20));
+    EXPECT_TRUE(m.insert(1, 10));
+    EXPECT_FALSE(m.insert(2, 21));
+    EXPECT_EQ(m.find(1), 10);
+    EXPECT_EQ(m.find(2), 20);
+    EXPECT_EQ(m.find(3), std::nullopt);
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_FALSE(m.erase(1));
+    EXPECT_FALSE(m.contains(1));
+    EXPECT_TRUE(m.contains(2));
+}
+
+TEST(CoarseList, BasicSemanticsMutex) {
+    coarse_list_map<int, int, std::mutex> m;
+    check_basic_semantics(m);
+}
+
+TEST(CoarseList, BasicSemanticsTas) {
+    coarse_list_map<int, int, tas_lock> m;
+    check_basic_semantics(m);
+}
+
+TEST(CoarseList, BasicSemanticsTtas) {
+    coarse_list_map<int, int, ttas_lock> m;
+    check_basic_semantics(m);
+}
+
+TEST(CoarseList, BasicSemanticsTicket) {
+    coarse_list_map<int, int, ticket_lock> m;
+    check_basic_semantics(m);
+}
+
+TEST(CoarseList, BasicSemanticsMcs) {
+    coarse_list_map<int, int, mcs_basic_lock> m;
+    check_basic_semantics(m);
+}
+
+TEST(FineList, BasicSemantics) {
+    fine_list_map<int, int> m;
+    check_basic_semantics(m);
+}
+
+TEST(UniversalSet, BasicSemantics) {
+    universal_set<int, int> m;
+    check_basic_semantics(m);
+}
+
+TEST(LockedHashMap, BasicSemantics) {
+    locked_hash_map<int, int> m(16);
+    check_basic_semantics(m);
+}
+
+template <typename Map>
+void concurrent_ledger_check(Map& m, int threads, int keys, int ops) {
+    ops = scaled(ops);
+    std::vector<std::vector<long>> ins(threads, std::vector<long>(keys, 0));
+    std::vector<std::vector<long>> del(threads, std::vector<long>(keys, 0));
+    std::atomic<bool> go{false};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            xorshift64 rng(0xdead + static_cast<std::uint64_t>(t) * 65537);
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < ops; ++i) {
+                const int k = static_cast<int>(rng.next_below(keys));
+                switch (rng.next() % 3) {
+                    case 0:
+                        if (m.insert(k, k)) ins[t][k]++;
+                        break;
+                    case 1:
+                        if (m.erase(k)) del[t][k]++;
+                        break;
+                    default:
+                        (void)m.find(k);
+                        break;
+                }
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : ts) th.join();
+    for (int k = 0; k < keys; ++k) {
+        long balance = 0;
+        for (int t = 0; t < threads; ++t) balance += ins[t][k] - del[t][k];
+        ASSERT_GE(balance, 0) << "key " << k;
+        ASSERT_LE(balance, 1) << "key " << k;
+        EXPECT_EQ(balance == 1, m.contains(k)) << "key " << k;
+    }
+}
+
+TEST(CoarseList, ConcurrentSemanticsTtas) {
+    coarse_list_map<int, int, ttas_lock> m;
+    concurrent_ledger_check(m, 6, 32, 3000);
+}
+
+TEST(CoarseList, ConcurrentSemanticsMcs) {
+    coarse_list_map<int, int, mcs_basic_lock> m;
+    concurrent_ledger_check(m, 6, 32, 2000);
+}
+
+TEST(FineList, ConcurrentSemantics) {
+    fine_list_map<int, int> m;
+    concurrent_ledger_check(m, 6, 32, 2000);
+}
+
+TEST(UniversalSet, ConcurrentSemantics) {
+    universal_set<int, int> m;
+    concurrent_ledger_check(m, 6, 32, 1500);
+}
+
+TEST(LockedHashMap, ConcurrentSemantics) {
+    locked_hash_map<int, int> m(16);
+    concurrent_ledger_check(m, 6, 128, 3000);
+}
+
+TEST(UniversalSet, SnapshotIsolation) {
+    // A reader's view must be a consistent snapshot even mid-update.
+    universal_set<int, int> m;
+    for (int k = 0; k < 100; ++k) m.insert(k, k);
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        int round = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            m.erase(round % 100);
+            m.insert(round % 100, round % 100);
+            ++round;
+        }
+    });
+    for (int i = 0; i < scaled(200); ++i) {
+        const std::size_t n = m.size();
+        EXPECT_GE(n, 99u);
+        EXPECT_LE(n, 100u);
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// STL iterator facade and algorithm interop; skip-list range scans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <numeric>
+#include <vector>
+
+#include "lfll/core/audit.hpp"
+#include "lfll/core/iterator.hpp"
+#include "lfll/core/list.hpp"
+#include "lfll/dict/skip_list.hpp"
+
+namespace {
+
+using namespace lfll;
+
+void append(valois_list<int>& list, int v) {
+    valois_list<int>::cursor c(list);
+    while (!c.at_end()) list.next(c);
+    list.insert(c, v);
+}
+
+TEST(Iterator, RangeForVisitsAllInOrder) {
+    valois_list<int> list(32);
+    for (int v : {1, 2, 3, 4}) append(list, v);
+    std::vector<int> seen;
+    for (const int& v : range(list)) seen.push_back(v);
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Iterator, EmptyListYieldsNothing) {
+    valois_list<int> list(8);
+    auto r = range(list);
+    EXPECT_EQ(r.begin(), r.end());
+    int count = 0;
+    for (const int& v : r) {
+        (void)v;
+        ++count;
+    }
+    EXPECT_EQ(count, 0);
+}
+
+TEST(Iterator, WorksWithStdAlgorithms) {
+    valois_list<int> list(32);
+    for (int v : {5, 10, 15}) append(list, v);
+    auto r = range(list);
+    EXPECT_EQ(std::accumulate(r.begin(), r.end(), 0), 30);
+    EXPECT_NE(std::find(r.begin(), r.end(), 10), r.end());
+    EXPECT_EQ(std::find(r.begin(), r.end(), 11), r.end());
+    EXPECT_EQ(std::count_if(r.begin(), r.end(), [](int v) { return v > 5; }), 2);
+}
+
+TEST(Iterator, EqualityOnSameCell) {
+    valois_list<int> list(8);
+    append(list, 1);
+    auto a = range(list).begin();
+    auto b = range(list).begin();
+    EXPECT_EQ(a, b);  // both on cell 1
+    ++a;
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, range(list).end());
+}
+
+TEST(Iterator, SurvivesConcurrentStyleDeletionOfCurrentCell) {
+    valois_list<int> list(16);
+    for (int v : {1, 2, 3}) append(list, v);
+    auto it = range(list).begin();
+    ++it;  // on 2
+    {
+        valois_list<int>::cursor del(list);
+        list.next(del);
+        ASSERT_TRUE(list.try_delete(del));  // delete 2 out from under it
+    }
+    EXPECT_EQ(*it, 2);  // cell persistence
+    ++it;
+    EXPECT_EQ(*it, 3);  // traversal rejoins the live list
+}
+
+TEST(Scan, VisitsCellsInOrder) {
+    valois_list<int> list(32);
+    for (int v : {1, 2, 3}) append(list, v);
+    std::vector<int> seen;
+    list.scan([&](const int& v) {
+        seen.push_back(v);
+        return true;
+    });
+    EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scan, EarlyStopHaltsTraversal) {
+    valois_list<int> list(32);
+    for (int v : {1, 2, 3, 4}) append(list, v);
+    int visits = 0;
+    list.scan([&](const int& v) {
+        ++visits;
+        return v < 2;  // stop at 2
+    });
+    EXPECT_EQ(visits, 2);
+}
+
+TEST(Scan, EmptyListVisitsNothing) {
+    valois_list<int> list(8);
+    int visits = 0;
+    list.scan([&](const int&) {
+        ++visits;
+        return true;
+    });
+    EXPECT_EQ(visits, 0);
+}
+
+TEST(Scan, BalancesReferences) {
+    valois_list<int> list(16);
+    for (int v : {5, 6}) append(list, v);
+    list.scan([](const int&) { return true; });
+    list.scan([](const int&) { return false; });  // early stop path too
+    auto r = audit_list(list);
+    EXPECT_TRUE(r.ok) << r.error;  // any unbalanced ref fails the audit
+}
+
+TEST(Scan, SafeAgainstConcurrentChurn) {
+    valois_list<int> list(256);
+    std::atomic<bool> stop{false};
+    std::thread churner([&] {
+        valois_list<int>::cursor c(list);
+        std::uint64_t x = 1;
+        while (!stop.load(std::memory_order_acquire)) {
+            list.first(c);
+            if (x++ % 2 == 0) {
+                list.insert(c, 7);
+            } else if (!c.at_end()) {
+                list.try_delete(c);
+            }
+        }
+        c.reset();
+    });
+    for (int i = 0; i < 300; ++i) {
+        int bad = 0;
+        list.scan([&](const int& v) {
+            if (v != 7) ++bad;
+            return true;
+        });
+        ASSERT_EQ(bad, 0);
+    }
+    stop.store(true, std::memory_order_release);
+    churner.join();
+}
+
+TEST(SkipListRange, ScansExactlyTheWindow) {
+    skip_list_map<int, int> m(1024, 8);
+    for (int k = 0; k < 100; ++k) m.insert(k, k * 3);
+    std::vector<int> keys;
+    m.for_each_range(20, 30, [&](int k, int v) {
+        EXPECT_EQ(v, k * 3);
+        keys.push_back(k);
+    });
+    std::vector<int> expect(10);
+    std::iota(expect.begin(), expect.end(), 20);
+    EXPECT_EQ(keys, expect);
+}
+
+TEST(SkipListRange, EmptyWindowAndBoundaries) {
+    skip_list_map<int, int> m(256, 6);
+    for (int k : {10, 20, 30}) m.insert(k, k);
+    int count = 0;
+    m.for_each_range(11, 20, [&](int, int) { ++count; });
+    EXPECT_EQ(count, 0);  // lo exclusive of 10, hi excludes 20
+    std::vector<int> keys;
+    m.for_each_range(10, 31, [&](int k, int) { keys.push_back(k); });
+    EXPECT_EQ(keys, (std::vector<int>{10, 20, 30}));
+    count = 0;
+    m.for_each_range(100, 200, [&](int, int) { ++count; });
+    EXPECT_EQ(count, 0);
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Deterministic reproductions of the paper's Figure 2 and Figure 3 races —
+// the two scenarios that break a naive CAS list and that auxiliary nodes
+// exist to prevent. We stage each interleaving with pre-positioned
+// cursors and assert that no cell is lost and no deletion is undone.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lfll/core/audit.hpp"
+#include "lfll/core/list.hpp"
+
+namespace {
+
+using list_t = lfll::valois_list<char>;
+using cursor_t = list_t::cursor;
+using node_t = lfll::list_node<char>;
+
+std::vector<char> contents(list_t& list) {
+    std::vector<char> out;
+    for (cursor_t c(list); !c.at_end(); list.next(c)) out.push_back(*c);
+    return out;
+}
+
+void append(list_t& list, char v) {
+    cursor_t c(list);
+    while (!c.at_end()) list.next(c);
+    list.insert(c, v);
+}
+
+// Figure 2: process 1 deletes B while process 2 concurrently inserts C at
+// the position immediately following B. In the naive list the insertion is
+// linked onto the already-bypassed B and is lost. Here: the deletion swings
+// the aux *before* B, the insertion CASes the aux *after* B — which is
+// still reachable — so C survives.
+TEST(RaceScenario, Figure2_InsertAfterConcurrentlyDeletedCell) {
+    list_t list(16);
+    append(list, 'A');
+    append(list, 'B');
+
+    // Process 2 positions its cursor at the end (after B): pre_aux is the
+    // auxiliary node following B.
+    cursor_t inserter(list);
+    list.next(inserter);
+    list.next(inserter);
+    ASSERT_TRUE(inserter.at_end());
+
+    // Process 1 positions on B and deletes it.
+    cursor_t deleter(list);
+    list.next(deleter);
+    ASSERT_EQ(*deleter, 'B');
+    ASSERT_TRUE(list.try_delete(deleter));
+    deleter.reset();
+
+    // Process 2 now performs its insert with the stale (but still valid!)
+    // cursor. The aux node after B replaced B in the list, so the insert
+    // must succeed and C must be reachable.
+    node_t* q = list.make_cell('C');
+    node_t* a = list.make_aux();
+    EXPECT_TRUE(list.try_insert(inserter, q, a));
+    list.release_node(q);
+    list.release_node(a);
+    inserter.reset();
+
+    EXPECT_EQ(contents(list), (std::vector<char>{'A', 'C'}));
+    auto r = lfll::audit_list(list);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+// Figure 2 variant: the insertion's target cell itself is deleted before
+// the insert CAS fires. The aux-before-target was swung away from the
+// target, so the insert CAS must FAIL (not corrupt), and a retry after
+// update succeeds.
+TEST(RaceScenario, Figure2Variant_InsertBeforeConcurrentlyDeletedCell) {
+    list_t list(16);
+    append(list, 'A');
+    append(list, 'B');
+
+    cursor_t inserter(list);
+    list.next(inserter);
+    ASSERT_EQ(*inserter, 'B');  // will insert before B
+
+    cursor_t deleter(list);
+    list.next(deleter);
+    ASSERT_TRUE(list.try_delete(deleter));  // B vanishes first
+    deleter.reset();
+
+    node_t* q = list.make_cell('C');
+    node_t* a = list.make_aux();
+    EXPECT_FALSE(list.try_insert(inserter, q, a));  // must detect the change
+    list.update(inserter);
+    EXPECT_TRUE(list.try_insert(inserter, q, a));
+    list.release_node(q);
+    list.release_node(a);
+    inserter.reset();
+
+    EXPECT_EQ(contents(list), (std::vector<char>{'A', 'C'}));
+    auto r = lfll::audit_list(list);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+// Figure 3: concurrent deletion of adjacent cells B and C. In the naive
+// list, delete-B swings A.next to C just as delete-C swings B.next to D —
+// resurrecting C. With auxiliary nodes both deletions commit and neither
+// is undone.
+TEST(RaceScenario, Figure3_ConcurrentAdjacentDeletes) {
+    list_t list(16);
+    for (char v : {'A', 'B', 'C', 'D'}) append(list, v);
+
+    cursor_t del_b(list);
+    list.next(del_b);
+    ASSERT_EQ(*del_b, 'B');
+    cursor_t del_c(list);
+    list.next(del_c);
+    list.next(del_c);
+    ASSERT_EQ(*del_c, 'C');
+
+    // Interleave: both unlink CASes fire back-to-back before either
+    // cleanup would finish (try_delete does unlink + cleanup atomically
+    // from the caller's view; the unlink CASes target different aux nodes
+    // so both succeed regardless of order).
+    ASSERT_TRUE(list.try_delete(del_b));
+    ASSERT_TRUE(list.try_delete(del_c));
+    del_b.reset();
+    del_c.reset();
+
+    EXPECT_EQ(contents(list), (std::vector<char>{'A', 'D'}));
+    auto r = lfll::audit_list(list);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.aux_chains, 0u) << "adjacent-aux chain left behind";
+}
+
+// Figure 3 in the opposite commit order.
+TEST(RaceScenario, Figure3_ConcurrentAdjacentDeletesReversed) {
+    list_t list(16);
+    for (char v : {'A', 'B', 'C', 'D'}) append(list, v);
+
+    cursor_t del_b(list);
+    list.next(del_b);
+    cursor_t del_c(list);
+    list.next(del_c);
+    list.next(del_c);
+
+    ASSERT_TRUE(list.try_delete(del_c));
+    ASSERT_TRUE(list.try_delete(del_b));
+    del_b.reset();
+    del_c.reset();
+
+    EXPECT_EQ(contents(list), (std::vector<char>{'A', 'D'}));
+    auto r = lfll::audit_list(list);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+// Three adjacent deletions, all unlinked before any cursor releases: the
+// back_link chain must lead every cleanup to the still-listed predecessor.
+TEST(RaceScenario, ChainOfThreeAdjacentDeletes) {
+    list_t list(16);
+    for (char v : {'A', 'B', 'C', 'D', 'E'}) append(list, v);
+
+    cursor_t cb(list), cc(list), cd(list);
+    list.next(cb);
+    list.next(cc);
+    list.next(cc);
+    list.next(cd);
+    list.next(cd);
+    list.next(cd);
+    ASSERT_EQ(*cb, 'B');
+    ASSERT_EQ(*cc, 'C');
+    ASSERT_EQ(*cd, 'D');
+
+    ASSERT_TRUE(list.try_delete(cb));
+    ASSERT_TRUE(list.try_delete(cc));
+    ASSERT_TRUE(list.try_delete(cd));
+    cb.reset();
+    cc.reset();
+    cd.reset();
+
+    EXPECT_EQ(contents(list), (std::vector<char>{'A', 'E'}));
+    auto r = lfll::audit_list(list);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.cells, 2u);
+}
+
+// A deleter whose pre_cell was itself deleted: the back_link walk (Fig. 10
+// lines 7-10) must retreat past it.
+TEST(RaceScenario, BackLinkWalkPastDeletedPredecessor) {
+    list_t list(16);
+    for (char v : {'A', 'B', 'C'}) append(list, v);
+
+    cursor_t cc(list);
+    list.next(cc);
+    list.next(cc);
+    ASSERT_EQ(*cc, 'C');  // pre_cell is B
+
+    // B is deleted first; cc's pre_cell is now a deleted cell.
+    cursor_t cb(list);
+    list.next(cb);
+    ASSERT_TRUE(list.try_delete(cb));
+    cb.reset();
+
+    // cc's unlink CAS targets the aux after B, which still precedes C.
+    ASSERT_TRUE(list.try_delete(cc));
+    cc.reset();
+
+    EXPECT_EQ(contents(list), (std::vector<char>{'A'}));
+    auto r = lfll::audit_list(list);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace

@@ -1,0 +1,55 @@
+// End-to-end smoke test: exercises the full public surface of the core
+// list once, single-threaded, with a structural + refcount audit after
+// every phase. Deeper per-operation tests live in the sibling files.
+#include <gtest/gtest.h>
+
+#include "lfll/core/audit.hpp"
+#include "lfll/core/list.hpp"
+
+namespace {
+
+using list_t = lfll::valois_list<int>;
+using cursor_t = list_t::cursor;
+
+TEST(Smoke, EmptyListShape) {
+    list_t list(16);
+    auto report = lfll::audit_list(list);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.cells, 0u);
+    EXPECT_EQ(report.aux_nodes, 1u);  // Fig. 4: First -> aux -> Last
+    EXPECT_TRUE(list.empty_slow());
+}
+
+TEST(Smoke, InsertTraverseDelete) {
+    list_t list(16);
+    cursor_t c(list);
+    EXPECT_TRUE(c.at_end());
+
+    list.insert(c, 3);
+    list.first(c);
+    list.insert(c, 1);
+    list.first(c);
+    EXPECT_EQ(*c, 1);
+    ASSERT_TRUE(list.next(c));
+    EXPECT_EQ(*c, 3);
+    ASSERT_TRUE(list.next(c));
+    EXPECT_TRUE(c.at_end());
+    EXPECT_FALSE(list.next(c));
+    EXPECT_EQ(list.size_slow(), 2u);
+
+    list.first(c);
+    EXPECT_TRUE(list.try_delete(c));
+    list.update(c);
+    EXPECT_EQ(*c, 3);
+    EXPECT_TRUE(list.try_delete(c));
+    list.update(c);
+    EXPECT_TRUE(c.at_end());
+
+    c.reset();
+    auto report = lfll::audit_list(list);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_EQ(report.cells, 0u);
+    EXPECT_EQ(report.leaked, 0u);
+}
+
+}  // namespace

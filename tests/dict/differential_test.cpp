@@ -1,0 +1,134 @@
+// Differential testing: all five lock-free dictionaries consume the SAME
+// operation stream and must produce byte-identical result streams —
+// membership answers, return codes, and final contents. Any divergence
+// localizes a bug to one structure without needing an oracle at all
+// (though the model_check suite provides one anyway).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lfll/baseline/harris_michael_list.hpp"
+#include "lfll/dict/bst.hpp"
+#include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/skip_list.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+
+struct op {
+    enum kind { insert, erase, contains } k;
+    int key;
+};
+
+std::vector<op> make_stream(std::uint64_t seed, int n, int key_range) {
+    xorshift64 rng(seed);
+    std::vector<op> ops;
+    ops.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        ops.push_back({static_cast<op::kind>(rng.next() % 3),
+                       static_cast<int>(rng.next_below(key_range))});
+    }
+    return ops;
+}
+
+/// Runs the stream and records every boolean result.
+template <typename Insert, typename Erase, typename Contains>
+std::vector<bool> run_stream(const std::vector<op>& ops, Insert&& ins, Erase&& ers,
+                             Contains&& has) {
+    std::vector<bool> results;
+    results.reserve(ops.size());
+    for (const op& o : ops) {
+        switch (o.k) {
+            case op::insert:
+                results.push_back(ins(o.key));
+                break;
+            case op::erase:
+                results.push_back(ers(o.key));
+                break;
+            case op::contains:
+                results.push_back(has(o.key));
+                break;
+        }
+    }
+    return results;
+}
+
+TEST(Differential, AllDictionariesAgreeOnEveryResult) {
+    for (std::uint64_t seed : {3ULL, 1447ULL, 99991ULL}) {
+        const auto ops = make_stream(seed, 4000, 96);
+
+        sorted_list_map<int, int> flat(512);
+        auto r_flat = run_stream(
+            ops, [&](int k) { return flat.insert(k, k); },
+            [&](int k) { return flat.erase(k); }, [&](int k) { return flat.contains(k); });
+
+        hash_map<int, int> hash(8, 16);
+        auto r_hash = run_stream(
+            ops, [&](int k) { return hash.insert(k, k); },
+            [&](int k) { return hash.erase(k); }, [&](int k) { return hash.contains(k); });
+
+        skip_list_map<int, int> skip(1024, 8);
+        auto r_skip = run_stream(
+            ops, [&](int k) { return skip.insert(k, k); },
+            [&](int k) { return skip.erase(k); }, [&](int k) { return skip.contains(k); });
+
+        bst_set<int> tree(1024);
+        auto r_tree = run_stream(
+            ops, [&](int k) { return tree.insert(k); }, [&](int k) { return tree.erase(k); },
+            [&](int k) { return tree.contains(k); });
+
+        harris_michael_list<int, int> hm;
+        auto r_hm = run_stream(
+            ops, [&](int k) { return hm.insert(k, k); }, [&](int k) { return hm.erase(k); },
+            [&](int k) { return hm.contains(k); });
+
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            ASSERT_EQ(r_flat[i], r_hash[i]) << "seed " << seed << " op " << i;
+            ASSERT_EQ(r_flat[i], r_skip[i]) << "seed " << seed << " op " << i;
+            ASSERT_EQ(r_flat[i], r_tree[i]) << "seed " << seed << " op " << i;
+            ASSERT_EQ(r_flat[i], r_hm[i]) << "seed " << seed << " op " << i;
+        }
+
+        // Final contents agree too (ordered walks for the ordered ones).
+        std::vector<int> flat_keys, skip_keys, tree_keys;
+        flat.for_each([&](int k, int) { flat_keys.push_back(k); });
+        skip.for_each([&](int k, int) { skip_keys.push_back(k); });
+        tree.for_each([&](int k) { tree_keys.push_back(k); });
+        EXPECT_EQ(flat_keys, skip_keys) << "seed " << seed;
+        EXPECT_EQ(flat_keys, tree_keys) << "seed " << seed;
+        EXPECT_EQ(flat.size_slow(), hash.size_slow()) << "seed " << seed;
+        EXPECT_EQ(flat.size_slow(), hm.size_slow()) << "seed " << seed;
+    }
+}
+
+TEST(Differential, OrderedStructuresAgreeOnRangeScans) {
+    const auto ops = make_stream(0xabcdULL, 2000, 200);
+    sorted_list_map<int, int> flat(512);
+    skip_list_map<int, int> skip(1024, 8);
+    for (const op& o : ops) {
+        if (o.k == op::insert) {
+            flat.insert(o.key, o.key * 2);
+            skip.insert(o.key, o.key * 2);
+        } else if (o.k == op::erase) {
+            flat.erase(o.key);
+            skip.erase(o.key);
+        }
+    }
+    for (int lo = 0; lo < 200; lo += 37) {
+        const int hi = lo + 50;
+        std::vector<int> from_flat, from_skip;
+        flat.for_each([&](int k, int) {
+            if (k >= lo && k < hi) from_flat.push_back(k);
+        });
+        skip.for_each_range(lo, hi, [&](int k, int v) {
+            EXPECT_EQ(v, k * 2);
+            from_skip.push_back(k);
+        });
+        EXPECT_EQ(from_flat, from_skip) << "window [" << lo << ", " << hi << ")";
+    }
+}
+
+}  // namespace

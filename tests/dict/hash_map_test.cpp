@@ -1,0 +1,67 @@
+// Hash-table dictionary (§4.1): bucket routing, semantics, iteration.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "lfll/dict/hash_map.hpp"
+
+namespace {
+
+using namespace lfll;
+
+TEST(HashMap, BucketCountRoundsUpToPowerOfTwo) {
+    hash_map<int, int> m(100, 4);
+    EXPECT_EQ(m.bucket_count(), 128u);
+    hash_map<int, int> one(1, 4);
+    EXPECT_EQ(one.bucket_count(), 1u);
+}
+
+TEST(HashMap, InsertFindErase) {
+    hash_map<int, std::string> m(8, 8);
+    EXPECT_TRUE(m.insert(1, "a"));
+    EXPECT_TRUE(m.insert(9, "b"));  // same bucket as 1 with 8 buckets
+    EXPECT_EQ(m.find(1), "a");
+    EXPECT_EQ(m.find(9), "b");
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_EQ(m.find(1), std::nullopt);
+    EXPECT_EQ(m.find(9), "b");
+}
+
+TEST(HashMap, DuplicateRejectedAcrossBuckets) {
+    hash_map<int, int> m(4, 4);
+    EXPECT_TRUE(m.insert(42, 1));
+    EXPECT_FALSE(m.insert(42, 2));
+    EXPECT_EQ(m.find(42), 1);
+}
+
+TEST(HashMap, SingleBucketDegeneratesToSortedList) {
+    hash_map<int, int> m(1, 16);
+    for (int k = 0; k < 50; ++k) EXPECT_TRUE(m.insert(k, k));
+    EXPECT_EQ(m.size_slow(), 50u);
+    for (int k = 0; k < 50; ++k) EXPECT_TRUE(m.contains(k));
+}
+
+TEST(HashMap, ForEachVisitsEverythingExactlyOnce) {
+    hash_map<int, int> m(16, 8);
+    for (int k = 0; k < 200; ++k) m.insert(k, k);
+    std::set<int> seen;
+    m.for_each([&](int k, int v) {
+        EXPECT_EQ(k, v);
+        EXPECT_TRUE(seen.insert(k).second);
+    });
+    EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(HashMap, StringKeysSpreadAcrossBuckets) {
+    hash_map<std::string, int> m(8, 8);
+    EXPECT_TRUE(m.insert("alpha", 1));
+    EXPECT_TRUE(m.insert("beta", 2));
+    EXPECT_TRUE(m.insert("gamma", 3));
+    EXPECT_EQ(m.find("beta"), 2);
+    EXPECT_TRUE(m.erase("beta"));
+    EXPECT_FALSE(m.contains("beta"));
+    EXPECT_EQ(m.size_slow(), 2u);
+}
+
+}  // namespace

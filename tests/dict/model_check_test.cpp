@@ -1,0 +1,164 @@
+// Model checking: every dictionary implementation (the paper's four §4
+// structures plus the baselines) is driven through long random operation
+// sequences in lock-step with a std::set oracle. Any divergence in return
+// value or membership is a bug, regardless of which structure it is in.
+// Typed over the structure; each type runs several seeds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lfll/baseline/coarse_list.hpp"
+#include "lfll/baseline/fine_list.hpp"
+#include "lfll/baseline/harris_michael_list.hpp"
+#include "lfll/baseline/universal_set.hpp"
+#include "lfll/dict/bst.hpp"
+#include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/skip_list.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+
+// Uniform adapter: construct + insert/erase/contains on int keys.
+template <typename M>
+struct adapter;
+
+template <>
+struct adapter<sorted_list_map<int, int>> {
+    sorted_list_map<int, int> m{512};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<hash_map<int, int>> {
+    hash_map<int, int> m{16, 8};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<skip_list_map<int, int>> {
+    skip_list_map<int, int> m{1024, 8};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<bst_set<int>> {
+    bst_set<int> m{1024};
+    bool insert(int k) { return m.insert(k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<harris_michael_list<int, int>> {
+    harris_michael_list<int, int> m;
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<universal_set<int, int>> {
+    universal_set<int, int> m;
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<universal_list_set<int, int>> {
+    universal_list_set<int, int> m;
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<coarse_list_map<int, int>> {
+    coarse_list_map<int, int> m;
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <>
+struct adapter<fine_list_map<int, int>> {
+    fine_list_map<int, int> m;
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+template <typename M>
+class ModelCheck : public ::testing::Test {};
+
+using Structures =
+    ::testing::Types<sorted_list_map<int, int>, hash_map<int, int>, skip_list_map<int, int>,
+                     bst_set<int>, harris_michael_list<int, int>, universal_set<int, int>,
+                     universal_list_set<int, int>, coarse_list_map<int, int>,
+                     fine_list_map<int, int>>;
+TYPED_TEST_SUITE(ModelCheck, Structures);
+
+TYPED_TEST(ModelCheck, MatchesStdSetOracle) {
+    for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+        adapter<TypeParam> dut;
+        std::set<int> oracle;
+        xorshift64 rng(seed);
+        for (int i = 0; i < 3000; ++i) {
+            const int k = static_cast<int>(rng.next_below(64));
+            switch (rng.next() % 3) {
+                case 0:
+                    ASSERT_EQ(dut.insert(k), oracle.insert(k).second)
+                        << "seed " << seed << " op " << i << " insert(" << k << ")";
+                    break;
+                case 1:
+                    ASSERT_EQ(dut.erase(k), oracle.erase(k) == 1)
+                        << "seed " << seed << " op " << i << " erase(" << k << ")";
+                    break;
+                default:
+                    ASSERT_EQ(dut.contains(k), oracle.count(k) == 1)
+                        << "seed " << seed << " op " << i << " contains(" << k << ")";
+                    break;
+            }
+        }
+        // Final sweep: total membership agreement.
+        for (int k = 0; k < 64; ++k) {
+            ASSERT_EQ(dut.contains(k), oracle.count(k) == 1) << "seed " << seed << " final " << k;
+        }
+    }
+}
+
+TYPED_TEST(ModelCheck, AdversarialPatterns) {
+    adapter<TypeParam> dut;
+    std::set<int> oracle;
+    auto step_insert = [&](int k) { ASSERT_EQ(dut.insert(k), oracle.insert(k).second) << k; };
+    auto step_erase = [&](int k) { ASSERT_EQ(dut.erase(k), oracle.erase(k) == 1) << k; };
+    // Ascending fill, descending drain.
+    for (int k = 0; k < 40; ++k) step_insert(k);
+    for (int k = 39; k >= 0; --k) step_erase(k);
+    // Descending fill (worst case for the BST), ascending drain.
+    for (int k = 40; k > 0; --k) step_insert(k);
+    for (int k = 1; k <= 40; ++k) step_erase(k);
+    // Alternating churn on one key.
+    for (int i = 0; i < 50; ++i) {
+        step_insert(7);
+        step_erase(7);
+    }
+    // Boundary keys.
+    step_insert(0);
+    step_insert(1 << 30);
+    ASSERT_TRUE(dut.contains(0));
+    ASSERT_TRUE(dut.contains(1 << 30));
+    for (int k : {0, 1 << 30}) step_erase(k);
+    ASSERT_FALSE(dut.contains(0));
+}
+
+}  // namespace

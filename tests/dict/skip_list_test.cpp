@@ -1,0 +1,184 @@
+// Skip list (§4.1): semantics, level subset/hint structure, descent via
+// down pointers, and concurrent set semantics with per-level audits.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lfll/core/audit.hpp"
+#include "lfll/dict/skip_list.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+using map_t = skip_list_map<int, int>;
+
+audit_report audit_all(map_t& m) {
+    std::vector<map_t::list_type*> lists;
+    for (int i = 0; i < m.max_level(); ++i) lists.push_back(&m.level(i));
+    return audit_shared(m.pool(), lists);
+}
+
+TEST(SkipList, InsertFindErase) {
+    map_t m(256, 8);
+    EXPECT_TRUE(m.insert(5, 50));
+    EXPECT_TRUE(m.insert(1, 10));
+    EXPECT_TRUE(m.insert(9, 90));
+    EXPECT_EQ(m.find(5), 50);
+    EXPECT_EQ(m.find(1), 10);
+    EXPECT_EQ(m.find(9), 90);
+    EXPECT_EQ(m.find(7), std::nullopt);
+    EXPECT_TRUE(m.erase(5));
+    EXPECT_FALSE(m.contains(5));
+    EXPECT_FALSE(m.erase(5));
+    EXPECT_EQ(m.size_slow(), 2u);
+}
+
+TEST(SkipList, DuplicateInsertRejected) {
+    map_t m(64, 4);
+    EXPECT_TRUE(m.insert(3, 1));
+    EXPECT_FALSE(m.insert(3, 2));
+    EXPECT_EQ(m.find(3), 1);
+}
+
+TEST(SkipList, BottomLevelIsSortedAndComplete) {
+    map_t m(1024, 8);
+    std::set<int> expect;
+    xorshift64 rng(42);
+    for (int i = 0; i < 300; ++i) {
+        const int k = static_cast<int>(rng.next_below(1000));
+        EXPECT_EQ(m.insert(k, k), expect.insert(k).second);
+    }
+    std::vector<int> keys;
+    m.for_each([&](int k, int v) {
+        EXPECT_EQ(k, v);
+        keys.push_back(k);
+    });
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(keys.size(), expect.size());
+}
+
+TEST(SkipList, UpperLevelsAreSubsetsAtQuiescence) {
+    map_t m(1024, 8);
+    for (int k = 0; k < 200; ++k) m.insert(k, k);
+    // Collect keys per level; each level's key set must be a subset of the
+    // level below (inserts go bottom-up and nothing was deleted).
+    std::vector<std::set<int>> per_level(8);
+    for (int lvl = 0; lvl < 8; ++lvl) {
+        for (map_t::cursor c(m.level(lvl)); !c.at_end(); m.level(lvl).next(c)) {
+            per_level[lvl].insert((*c).key);
+        }
+    }
+    EXPECT_EQ(per_level[0].size(), 200u);
+    for (int lvl = 1; lvl < 8; ++lvl) {
+        for (int k : per_level[lvl]) {
+            EXPECT_TRUE(per_level[lvl - 1].count(k)) << "level " << lvl << " key " << k;
+        }
+        EXPECT_LE(per_level[lvl].size(), per_level[lvl - 1].size());
+    }
+    // Geometric promotion: level 1 should hold roughly half of the keys.
+    EXPECT_GT(per_level[1].size(), 50u);
+    EXPECT_LT(per_level[1].size(), 150u);
+}
+
+TEST(SkipList, EraseStripsAllLevels) {
+    map_t m(256, 6);
+    for (int k = 0; k < 100; ++k) m.insert(k, k);
+    for (int k = 0; k < 100; ++k) EXPECT_TRUE(m.erase(k));
+    EXPECT_EQ(m.size_slow(), 0u);
+    for (int lvl = 0; lvl < 6; ++lvl) {
+        EXPECT_EQ(m.level(lvl).size_slow(), 0u) << "level " << lvl << " not empty";
+    }
+    auto r = audit_all(m);
+    EXPECT_TRUE(r.ok) << r.error;
+    // Every node back in the (shared) pool.
+    EXPECT_EQ(m.pool().free_count() + 3u * 6u, m.pool().capacity())
+        << "3 dummies per level remain; everything else must be free";
+}
+
+TEST(SkipList, ReinsertAfterErase) {
+    map_t m(128, 6);
+    for (int round = 0; round < 30; ++round) {
+        ASSERT_TRUE(m.insert(7, round)) << "round " << round;
+        ASSERT_EQ(m.find(7), round);
+        ASSERT_TRUE(m.erase(7));
+        ASSERT_FALSE(m.contains(7));
+    }
+}
+
+TEST(SkipList, MixedChurnKeepsLevelsAuditable) {
+    map_t m(1024, 6);
+    xorshift64 rng(99);
+    std::set<int> model;
+    for (int i = 0; i < 2000; ++i) {
+        const int k = static_cast<int>(rng.next_below(300));
+        if (rng.next() % 2 == 0) {
+            EXPECT_EQ(m.insert(k, k), model.insert(k).second) << "op " << i;
+        } else {
+            EXPECT_EQ(m.erase(k), model.erase(k) == 1) << "op " << i;
+        }
+    }
+    EXPECT_EQ(m.size_slow(), model.size());
+    auto r = audit_all(m);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(SkipList, ConcurrentSetSemantics) {
+    map_t m(4096, 10);
+    constexpr int kThreads = 6;
+    constexpr int kKeys = 64;
+    const int kOps = scaled(2500);
+    std::vector<std::vector<long>> ins(kThreads, std::vector<long>(kKeys, 0));
+    std::vector<std::vector<long>> del(kThreads, std::vector<long>(kKeys, 0));
+    std::atomic<bool> go{false};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            xorshift64 rng(0xace + static_cast<std::uint64_t>(t) * 6151);
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kOps; ++i) {
+                const int k = static_cast<int>(rng.next_below(kKeys));
+                switch (rng.next() % 3) {
+                    case 0:
+                        if (m.insert(k, k + 5)) ins[t][k]++;
+                        break;
+                    case 1:
+                        if (m.erase(k)) del[t][k]++;
+                        break;
+                    default: {
+                        auto v = m.find(k);
+                        if (v.has_value()) {
+                            EXPECT_EQ(*v, k + 5);
+                        }
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : ts) th.join();
+
+    for (int k = 0; k < kKeys; ++k) {
+        long balance = 0;
+        for (int t = 0; t < kThreads; ++t) balance += ins[t][k] - del[t][k];
+        ASSERT_GE(balance, 0) << "key " << k;
+        ASSERT_LE(balance, 1) << "key " << k;
+        EXPECT_EQ(balance == 1, m.contains(k)) << "key " << k;
+    }
+    // Whole-structure audit: every level's shape, the shared pool's
+    // accounting, and all cross-level down links. (Upper levels may hold
+    // stale hint entries, which is fine — they are still well-formed
+    // cells whose references all balance.)
+    auto r = audit_all(m);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace

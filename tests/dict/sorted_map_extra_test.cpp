@@ -1,0 +1,120 @@
+// Sorted map, second pass: range scans, clear(), scan-path find details,
+// and statistical sanity of the skip list's tower heights.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lfll/core/audit.hpp"
+#include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/skip_list.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+
+TEST(SortedMapRange, ScansExactWindow) {
+    sorted_list_map<int, int> m(256);
+    for (int k = 0; k < 50; ++k) m.insert(k, k * 10);
+    std::vector<int> keys;
+    m.for_each_range(10, 20, [&](int k, int v) {
+        EXPECT_EQ(v, k * 10);
+        keys.push_back(k);
+    });
+    ASSERT_EQ(keys.size(), 10u);
+    EXPECT_EQ(keys.front(), 10);
+    EXPECT_EQ(keys.back(), 19);
+}
+
+TEST(SortedMapRange, EmptyAndDegenerateWindows) {
+    sorted_list_map<int, int> m(64);
+    for (int k : {5, 10, 15}) m.insert(k, k);
+    int n = 0;
+    m.for_each_range(6, 10, [&](int, int) { ++n; });
+    EXPECT_EQ(n, 0);
+    m.for_each_range(20, 30, [&](int, int) { ++n; });
+    EXPECT_EQ(n, 0);
+    m.for_each_range(10, 10, [&](int, int) { ++n; });  // empty window
+    EXPECT_EQ(n, 0);
+    m.for_each_range(5, 16, [&](int, int) { ++n; });
+    EXPECT_EQ(n, 3);
+}
+
+TEST(SortedMapClear, EmptiesAndAudits) {
+    sorted_list_map<int, int> m(256);
+    for (int k = 0; k < 100; ++k) m.insert(k, k);
+    EXPECT_EQ(m.clear(), 100u);
+    EXPECT_EQ(m.size_slow(), 0u);
+    EXPECT_EQ(m.clear(), 0u);
+    auto r = audit_list(m.list());
+    EXPECT_TRUE(r.ok) << r.error;
+    // Reusable afterwards.
+    EXPECT_TRUE(m.insert(7, 7));
+    EXPECT_TRUE(m.contains(7));
+}
+
+TEST(SortedMapClear, ConcurrentClearersAccountExactly) {
+    sorted_list_map<int, int> m(2048);
+    constexpr int kN = 1000;
+    for (int k = 0; k < kN; ++k) m.insert(k, k);
+    std::atomic<std::size_t> total{0};
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 4; ++t) {
+        ts.emplace_back([&] { total.fetch_add(m.clear()); });
+    }
+    for (auto& th : ts) th.join();
+    EXPECT_EQ(total.load(), static_cast<std::size_t>(kN));  // each cell deleted once
+    EXPECT_EQ(m.size_slow(), 0u);
+    auto r = audit_list(m.list());
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(SkipListStats, TowerHeightsAreRoughlyGeometric) {
+    skip_list_map<int, int> m(1 << 15, 12);
+    constexpr int kN = 8000;
+    for (int k = 0; k < kN; ++k) m.insert(k, k);
+    // Level occupancy must decay roughly by half per level. Loose bands:
+    // a broken random_level (always 1, or always max) fails these.
+    std::vector<std::size_t> level_sizes;
+    for (int lvl = 0; lvl < 6; ++lvl) level_sizes.push_back(m.level(lvl).size_slow());
+    EXPECT_EQ(level_sizes[0], static_cast<std::size_t>(kN));
+    for (int lvl = 1; lvl < 6; ++lvl) {
+        const double ratio = static_cast<double>(level_sizes[lvl]) /
+                             static_cast<double>(level_sizes[lvl - 1]);
+        EXPECT_GT(ratio, 0.35) << "level " << lvl << " too sparse";
+        EXPECT_LT(ratio, 0.65) << "level " << lvl << " too dense";
+    }
+}
+
+TEST(HashMapConcurrent, ForEachDuringChurnSeesOnlyValidEntries) {
+    hash_map<int, int> m(16, 16);
+    for (int k = 0; k < 200; k += 2) m.insert(k, k * 7);
+    std::atomic<bool> stop{false};
+    std::atomic<int> bad{0};
+    std::thread churner([&] {
+        xorshift64 rng(1);
+        while (!stop.load(std::memory_order_acquire)) {
+            const int k = static_cast<int>(rng.next_below(200));
+            if (rng.next() % 2 == 0) {
+                m.insert(k, k * 7);
+            } else {
+                m.erase(k);
+            }
+        }
+    });
+    for (int i = 0; i < 200; ++i) {
+        m.for_each([&](int k, int v) {
+            if (v != k * 7) bad.fetch_add(1);
+        });
+    }
+    stop.store(true, std::memory_order_release);
+    churner.join();
+    EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace

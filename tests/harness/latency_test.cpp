@@ -1,0 +1,82 @@
+// Latency sampler: sampling cadence, merge correctness, and plausible
+// magnitudes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "lfll/harness/latency.hpp"
+
+namespace {
+
+using namespace lfll::harness;
+
+TEST(Latency, SamplesEveryNthOperation) {
+    latency_sink sink;
+    {
+        latency_sampler s(sink, /*shift=*/2);  // every 4th
+        for (int i = 0; i < 40; ++i) {
+            auto g = s.measure();
+        }
+    }
+    EXPECT_EQ(sink.sample_count(), 10u);
+}
+
+TEST(Latency, ShiftZeroSamplesEverything) {
+    latency_sink sink;
+    {
+        latency_sampler s(sink, 0);
+        for (int i = 0; i < 7; ++i) {
+            auto g = s.measure();
+        }
+    }
+    EXPECT_EQ(sink.sample_count(), 7u);
+}
+
+TEST(Latency, MeasuresPlausibleDurations) {
+    latency_sink sink;
+    {
+        latency_sampler s(sink, 0);
+        for (int i = 0; i < 5; ++i) {
+            auto g = s.measure();
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    const summary sum = sink.summarize_ns();
+    EXPECT_EQ(sum.n, 5u);
+    EXPECT_GE(sum.min, 1.5e6);  // at least ~1.5ms
+    EXPECT_LT(sum.min, 1e9);    // and not absurd
+}
+
+TEST(Latency, MergesAcrossThreads) {
+    latency_sink sink;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < 4; ++t) {
+        ts.emplace_back([&] {
+            latency_sampler s(sink, 1);  // every 2nd
+            for (int i = 0; i < 100; ++i) {
+                auto g = s.measure();
+            }
+        });
+    }
+    for (auto& th : ts) th.join();
+    EXPECT_EQ(sink.sample_count(), 4u * 50u);
+}
+
+TEST(Latency, ExplicitFlushThenMore) {
+    latency_sink sink;
+    latency_sampler s(sink, 0);
+    {
+        auto g = s.measure();
+    }
+    s.flush();
+    EXPECT_EQ(sink.sample_count(), 1u);
+    {
+        auto g = s.measure();
+    }
+    s.flush();
+    EXPECT_EQ(sink.sample_count(), 2u);
+}
+
+}  // namespace

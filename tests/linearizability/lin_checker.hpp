@@ -1,0 +1,110 @@
+// A Wing & Gong-style linearizability checker for set histories.
+//
+// The paper (§2.1): "We also require our objects to be linearizable [14]
+// ... Proofs that our data structures are linearizable are beyond the
+// scope of this paper, but are straightforward." This checker makes the
+// omitted claim empirically testable: record a concurrent history of
+// insert/erase/contains calls (with global invocation/response tickets),
+// then search for a linearization — a total order consistent with
+// real-time precedence in which every recorded result is correct for a
+// sequential set.
+//
+// Search notes:
+//  * A candidate for the next linearized op must be minimal w.r.t.
+//    precedence: no other pending op responded before it was invoked.
+//  * For a set with recorded results, the abstract state after a SET of
+//    linearized ops is independent of their order (successful ops have
+//    deterministic effects; failed ops have none), so memoizing failed
+//    masks makes the search practical for histories up to ~40 ops.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace lin {
+
+enum class op_kind { insert, erase, contains };
+
+struct recorded_op {
+    int thread;
+    op_kind kind;
+    int key;
+    bool result;
+    std::uint64_t invoke;    ///< global ticket taken before the call
+    std::uint64_t response;  ///< global ticket taken after the return
+};
+
+namespace detail {
+
+struct search {
+    const std::vector<recorded_op>& ops;
+    std::unordered_set<std::uint64_t> failed_masks;
+
+    bool valid(const recorded_op& o, const std::unordered_set<int>& state) const {
+        const bool present = state.count(o.key) != 0;
+        switch (o.kind) {
+            case op_kind::insert:
+                return o.result != present;  // succeeds iff absent
+            case op_kind::erase:
+                return o.result == present;  // succeeds iff present
+            case op_kind::contains:
+                return o.result == present;
+        }
+        return false;
+    }
+
+    bool dfs(std::uint64_t done_mask, std::unordered_set<int>& state) {
+        const std::uint64_t full = (ops.size() == 64)
+                                       ? ~std::uint64_t{0}
+                                       : ((std::uint64_t{1} << ops.size()) - 1);
+        if (done_mask == full) return true;
+        if (failed_masks.count(done_mask) != 0) return false;
+
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            const std::uint64_t bit = std::uint64_t{1} << i;
+            if (done_mask & bit) continue;
+            // Minimality: no pending op responded before ops[i] was invoked.
+            bool minimal = true;
+            for (std::size_t j = 0; j < ops.size(); ++j) {
+                if (i == j || (done_mask & (std::uint64_t{1} << j))) continue;
+                if (ops[j].response < ops[i].invoke) {
+                    minimal = false;
+                    break;
+                }
+            }
+            if (!minimal) continue;
+            if (!valid(ops[i], state)) continue;
+            // Apply.
+            const bool mutate = ops[i].result && ops[i].kind != op_kind::contains;
+            if (mutate) {
+                if (ops[i].kind == op_kind::insert)
+                    state.insert(ops[i].key);
+                else
+                    state.erase(ops[i].key);
+            }
+            if (dfs(done_mask | bit, state)) return true;
+            // Undo.
+            if (mutate) {
+                if (ops[i].kind == op_kind::insert)
+                    state.erase(ops[i].key);
+                else
+                    state.insert(ops[i].key);
+            }
+        }
+        failed_masks.insert(done_mask);
+        return false;
+    }
+};
+
+}  // namespace detail
+
+/// True iff `history` (at most 64 ops) has a linearization starting from
+/// an empty set.
+inline bool is_linearizable(const std::vector<recorded_op>& history) {
+    detail::search s{history, {}};
+    std::unordered_set<int> state;
+    return s.dfs(0, state);
+}
+
+}  // namespace lin

@@ -1,0 +1,211 @@
+// Empirical linearizability (§2.1 [14]): record real concurrent histories
+// from every lock-free dictionary and verify each one has a valid
+// linearization. Includes self-tests proving the checker rejects
+// non-linearizable histories (a checker that accepts everything proves
+// nothing).
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lin_checker.hpp"
+
+#include "lfll/baseline/harris_michael_list.hpp"
+#include "lfll/dict/bst.hpp"
+#include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/skip_list.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/primitives/rng.hpp"
+
+namespace {
+
+using namespace lfll;
+using lin::op_kind;
+using lin::recorded_op;
+
+// ---------------------------------------------------------------- checker
+// self-tests: hand-built histories with known verdicts.
+
+recorded_op mk(int thread, op_kind k, int key, bool result, std::uint64_t inv,
+               std::uint64_t rsp) {
+    return {thread, k, key, result, inv, rsp};
+}
+
+TEST(LinChecker, AcceptsSequentialHistory) {
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 1, true, 0, 1),
+        mk(0, op_kind::contains, 1, true, 2, 3),
+        mk(0, op_kind::erase, 1, true, 4, 5),
+        mk(0, op_kind::contains, 1, false, 6, 7),
+    };
+    EXPECT_TRUE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, RejectsReadOfNeverInsertedKey) {
+    std::vector<recorded_op> h{
+        mk(0, op_kind::contains, 5, true, 0, 1),  // true, but 5 never inserted
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, AcceptsOverlappingOpsEitherOrder) {
+    // insert(1) and contains(1)=false overlap: linearize the read first.
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 1, true, 0, 3),
+        mk(1, op_kind::contains, 1, false, 1, 2),
+    };
+    EXPECT_TRUE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, RespectsRealTimePrecedence) {
+    // contains(1)=false strictly AFTER insert(1) completed: no valid order.
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 1, true, 0, 1),
+        mk(1, op_kind::contains, 1, false, 2, 3),
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, RejectsDoubleSuccessfulInsert) {
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 7, true, 0, 1),
+        mk(1, op_kind::insert, 7, true, 2, 3),  // no erase between
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, RejectsLostUpdate) {
+    // Two successful erases of one successful insert.
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 3, true, 0, 1),
+        mk(0, op_kind::erase, 3, true, 2, 5),
+        mk(1, op_kind::erase, 3, true, 3, 4),
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, AcceptsConcurrentInsertLoserSeesWinner) {
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 2, true, 0, 3),
+        mk(1, op_kind::insert, 2, false, 1, 2),  // overlaps; loses
+    };
+    EXPECT_TRUE(lin::is_linearizable(h));
+}
+
+// ------------------------------------------------------------- recording
+// real histories from the library's dictionaries.
+
+struct recorder {
+    std::atomic<std::uint64_t> ticket{0};
+    std::mutex mu;
+    std::vector<recorded_op> history;
+
+    template <typename F>
+    void record(int thread, op_kind k, int key, F&& call) {
+        const std::uint64_t inv = ticket.fetch_add(1, std::memory_order_acq_rel);
+        const bool result = call();
+        const std::uint64_t rsp = ticket.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard lk(mu);
+        history.push_back({thread, k, key, result, inv, rsp});
+    }
+};
+
+/// Runs `threads` x `ops_per_thread` random ops on `keys` hot keys and
+/// checks the resulting history. Repeats for several rounds: small
+/// histories, many samples.
+template <typename MakeDict>
+void check_structure(MakeDict&& make, int rounds) {
+    constexpr int kThreads = 3;
+    constexpr int kOpsPerThread = 8;  // 24-op histories: exhaustively checkable
+    constexpr int kKeys = 3;
+    for (int round = 0; round < rounds; ++round) {
+        auto dict = make();
+        recorder rec;
+        std::atomic<bool> go{false};
+        std::vector<std::thread> ts;
+        for (int t = 0; t < kThreads; ++t) {
+            ts.emplace_back([&, t] {
+                xorshift64 rng(0x11A + static_cast<std::uint64_t>(round) * 131 +
+                               static_cast<std::uint64_t>(t) * 7);
+                while (!go.load(std::memory_order_acquire)) {
+                }
+                for (int i = 0; i < kOpsPerThread; ++i) {
+                    const int k = static_cast<int>(rng.next_below(kKeys));
+                    switch (rng.next() % 3) {
+                        case 0:
+                            rec.record(t, op_kind::insert, k,
+                                       [&] { return dict->insert(k); });
+                            break;
+                        case 1:
+                            rec.record(t, op_kind::erase, k, [&] { return dict->erase(k); });
+                            break;
+                        default:
+                            rec.record(t, op_kind::contains, k,
+                                       [&] { return dict->contains(k); });
+                            break;
+                    }
+                }
+            });
+        }
+        go.store(true, std::memory_order_release);
+        for (auto& th : ts) th.join();
+        ASSERT_TRUE(lin::is_linearizable(rec.history)) << "round " << round;
+    }
+}
+
+// Set-interface shims.
+struct flat_shim {
+    sorted_list_map<int, int> m{64};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+struct hash_shim {
+    hash_map<int, int> m{4, 8};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+struct skip_shim {
+    skip_list_map<int, int> m{128, 4};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+struct bst_shim {
+    bst_set<int> m{128};
+    bool insert(int k) { return m.insert(k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+struct hm_shim {
+    harris_michael_list<int, int> m;
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+};
+
+const int kRounds = lfll_test::scaled(200);
+
+TEST(Linearizability, SortedListMap) {
+    check_structure([] { return std::make_unique<flat_shim>(); }, kRounds);
+}
+TEST(Linearizability, HashMap) {
+    check_structure([] { return std::make_unique<hash_shim>(); }, kRounds);
+}
+TEST(Linearizability, SkipListMap) {
+    check_structure([] { return std::make_unique<skip_shim>(); }, kRounds);
+}
+TEST(Linearizability, BstSet) {
+    check_structure([] { return std::make_unique<bst_shim>(); }, kRounds);
+}
+TEST(Linearizability, HarrisMichael) {
+    check_structure([] { return std::make_unique<hm_shim>(); }, kRounds);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Buddy allocator, second pass: size-class boundaries, alignment
+// guarantees, split/coalesce patterns, and fragmentation behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "lfll/memory/buddy_allocator.hpp"
+
+namespace {
+
+using namespace lfll;
+
+TEST(BuddyExtra, SizeClassBoundaries) {
+    buddy_allocator a(1 << 14, 64);
+    // Exactly at a power of two: no rounding.
+    void* p64 = a.allocate(64);
+    EXPECT_EQ(a.free_bytes(), (1u << 14) - 64);
+    a.deallocate(p64);
+    // One past: next class.
+    void* p65 = a.allocate(65);
+    EXPECT_EQ(a.free_bytes(), (1u << 14) - 128);
+    a.deallocate(p65);
+    // Below the minimum block: still one min block.
+    void* p1 = a.allocate(1);
+    EXPECT_EQ(a.free_bytes(), (1u << 14) - 64);
+    a.deallocate(p1);
+}
+
+TEST(BuddyExtra, BlocksAlignedToTheirSize) {
+    buddy_allocator a(1 << 16, 64);
+    const auto base = reinterpret_cast<std::uintptr_t>(a.allocate(1 << 16));
+    a.deallocate(reinterpret_cast<void*>(base));
+    for (std::size_t sz : {64u, 128u, 256u, 1024u, 4096u}) {
+        void* p = a.allocate(sz);
+        ASSERT_NE(p, nullptr);
+        const auto off = reinterpret_cast<std::uintptr_t>(p) - base;
+        EXPECT_EQ(off % sz, 0u) << "block of " << sz << " misaligned";
+        a.deallocate(p);
+        a.coalesce();
+    }
+}
+
+TEST(BuddyExtra, SplitProducesAllSizeClasses) {
+    buddy_allocator a(1 << 12, 64);  // orders 0..6
+    void* p = a.allocate(64);
+    // After splitting 4096 down to 64, exactly one free block of each of
+    // 64, 128, 256, ..., 2048 exists: free_bytes confirms the telescope.
+    EXPECT_EQ(a.free_bytes(), (1u << 12) - 64);
+    EXPECT_EQ(a.largest_free_block(), 2048u);
+    a.deallocate(p);
+}
+
+TEST(BuddyExtra, PartialCoalesceStopsAtAllocatedBuddy) {
+    buddy_allocator a(1 << 12, 64);
+    void* a1 = a.allocate(64);  // occupies granule 0
+    void* a2 = a.allocate(64);  // its buddy, granule 1
+    a.deallocate(a1);
+    a.coalesce();
+    // a1's buddy is allocated: the 64-block cannot merge upward.
+    EXPECT_EQ(a.largest_free_block(), 2048u);
+    void* again = a.allocate(64);
+    EXPECT_EQ(again, a1);  // the freed block is reused, not leaked
+    a.deallocate(a2);
+    a.deallocate(again);
+    a.coalesce();
+    EXPECT_EQ(a.largest_free_block(), 1u << 12);
+}
+
+TEST(BuddyExtra, CheckerboardFragmentationBlocksLargeAllocs) {
+    buddy_allocator a(1 << 12, 64);  // 64 granules
+    std::vector<void*> blocks;
+    for (int i = 0; i < 64; ++i) blocks.push_back(a.allocate(64));
+    // Free every second block: half the bytes free, nothing coalesces.
+    for (std::size_t i = 0; i < blocks.size(); i += 2) a.deallocate(blocks[i]);
+    a.coalesce();
+    EXPECT_EQ(a.free_bytes(), (1u << 12) / 2);
+    EXPECT_EQ(a.largest_free_block(), 64u);
+    EXPECT_EQ(a.allocate(128), nullptr);  // fragmentation is real
+    for (std::size_t i = 1; i < blocks.size(); i += 2) a.deallocate(blocks[i]);
+    a.coalesce();
+    EXPECT_EQ(a.largest_free_block(), 1u << 12);
+}
+
+TEST(BuddyExtra, ExhaustionRecoversAfterFrees) {
+    buddy_allocator a(1 << 12, 64);
+    std::vector<void*> all;
+    for (;;) {
+        void* p = a.allocate(64);
+        if (p == nullptr) break;
+        all.push_back(p);
+    }
+    EXPECT_EQ(all.size(), 64u);
+    EXPECT_EQ(a.free_bytes(), 0u);
+    a.deallocate(all.back());
+    all.pop_back();
+    void* p = a.allocate(64);
+    EXPECT_NE(p, nullptr);
+    a.deallocate(p);
+    for (void* q : all) a.deallocate(q);
+}
+
+TEST(BuddyExtra, DistinctArenasAreIndependent) {
+    buddy_allocator a(1 << 12, 64), b(1 << 12, 64);
+    void* pa = a.allocate(256);
+    void* pb = b.allocate(256);
+    EXPECT_NE(pa, pb);
+    a.deallocate(pa);
+    EXPECT_EQ(a.free_bytes(), 1u << 12);
+    EXPECT_EQ(b.free_bytes(), (1u << 12) - 256);
+    b.deallocate(pb);
+}
+
+TEST(BuddyExtra, RepeatedSplitCoalesceCycles) {
+    buddy_allocator a(1 << 14, 64);
+    for (int round = 0; round < 50; ++round) {
+        std::set<void*> live;
+        for (std::size_t sz : {64u, 512u, 128u, 2048u, 64u, 256u}) {
+            void* p = a.allocate(sz);
+            ASSERT_NE(p, nullptr) << "round " << round;
+            EXPECT_TRUE(live.insert(p).second);
+        }
+        for (void* p : live) a.deallocate(p);
+        a.coalesce();
+        ASSERT_EQ(a.largest_free_block(), 1u << 14) << "round " << round;
+    }
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Unit tests for the corrected reference-count word (ref_count.hpp):
+// encoding, claim transitions, and the multi-releaser race from the
+// Michael & Scott correction — only ONE releaser may ever win the claim.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lfll/memory/ref_count.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+TEST(RefCount, EncodingRoundTrips) {
+    EXPECT_EQ(refct_count(0), 0u);
+    EXPECT_EQ(refct_count(refct_one), 1u);
+    EXPECT_EQ(refct_count(7 * refct_one), 7u);
+    EXPECT_FALSE(refct_claimed(refct_one));
+    EXPECT_TRUE(refct_claimed(refct_one | refct_claim));
+    EXPECT_TRUE(refct_claimed(refct_claim));
+}
+
+TEST(RefCount, AcquireIncrementsCount) {
+    std::atomic<refct_t> rc{refct_one};
+    refct_acquire(rc);
+    EXPECT_EQ(refct_count(rc.load()), 2u);
+    EXPECT_FALSE(refct_claimed(rc.load()));
+}
+
+TEST(RefCount, ReleaseOfNonLastReferenceDoesNotClaim) {
+    std::atomic<refct_t> rc{2 * refct_one};
+    EXPECT_FALSE(refct_release(rc));
+    EXPECT_EQ(refct_count(rc.load()), 1u);
+}
+
+TEST(RefCount, LastReleaseWinsClaim) {
+    std::atomic<refct_t> rc{refct_one};
+    EXPECT_TRUE(refct_release(rc));
+    EXPECT_EQ(rc.load(), refct_claim);  // count 0, claimed
+}
+
+TEST(RefCount, UnclaimToOneRestoresSingleReference) {
+    std::atomic<refct_t> rc{refct_one};
+    ASSERT_TRUE(refct_release(rc));
+    refct_unclaim_to_one(rc);
+    EXPECT_EQ(rc.load(), refct_one);
+    EXPECT_FALSE(refct_claimed(rc.load()));
+}
+
+TEST(RefCount, TransientIncrementOnClaimedNodeIsPreserved) {
+    // A stale SafeRead may bump a claimed node; unclaim_to_one must not
+    // clobber the in-flight reference (this is why it is a fetch_add, not
+    // a store — the original paper's bug).
+    std::atomic<refct_t> rc{refct_one};
+    ASSERT_TRUE(refct_release(rc));   // rc == 1 (claimed)
+    refct_acquire(rc);                // transient SafeRead: rc == 3
+    refct_unclaim_to_one(rc);         // must yield count 2, not count 1
+    EXPECT_EQ(refct_count(rc.load()), 2u);
+    EXPECT_FALSE(refct_claimed(rc.load()));
+}
+
+TEST(RefCount, ClaimResponsibilityTransfersThroughTransient) {
+    // Releaser takes count to 0 but a transient +1 blocks its claim CAS;
+    // the transient's matching release must then win the claim instead.
+    std::atomic<refct_t> rc{refct_one};
+    refct_acquire(rc);                 // transient arrives first: count 2
+    EXPECT_FALSE(refct_release(rc));   // real releaser: count 1, no claim
+    EXPECT_TRUE(refct_release(rc));    // transient's undo claims
+    EXPECT_TRUE(refct_claimed(rc.load()));
+}
+
+// The M&S race, hammered: N threads each hold one reference and release
+// concurrently. Exactly one must win the claim.
+TEST(RefCount, ExactlyOneReleaserWinsClaim) {
+    for (int round = 0; round < scaled(200) * 4; ++round) {
+        constexpr int kThreads = 8;
+        std::atomic<refct_t> rc{kThreads * refct_one};
+        std::atomic<int> winners{0};
+        std::atomic<bool> go{false};
+        std::vector<std::thread> ts;
+        ts.reserve(kThreads);
+        for (int i = 0; i < kThreads; ++i) {
+            ts.emplace_back([&] {
+                while (!go.load(std::memory_order_acquire)) {
+                }
+                if (refct_release(rc)) winners.fetch_add(1);
+            });
+        }
+        go.store(true, std::memory_order_release);
+        for (auto& t : ts) t.join();
+        EXPECT_EQ(winners.load(), 1) << "round " << round;
+        EXPECT_EQ(rc.load(), refct_claim);
+    }
+}
+
+// Acquire/release churn by many threads around a single base reference
+// must never reach zero or set the claim bit.
+TEST(RefCount, ChurnNeverClaimsWhileBaseReferenceHeld) {
+    std::atomic<refct_t> rc{refct_one};  // the base reference
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 4; ++i) {
+        ts.emplace_back([&] {
+            for (int n = 0; n < scaled(20000) && !stop.load(std::memory_order_relaxed); ++n) {
+                refct_acquire(rc);
+                if (refct_release(rc)) {
+                    stop.store(true);
+                    ADD_FAILURE() << "claim won while base reference held";
+                }
+            }
+        });
+    }
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(rc.load(), refct_one);
+}
+
+}  // namespace

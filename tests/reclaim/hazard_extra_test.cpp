@@ -1,0 +1,139 @@
+// Hazard pointers, second pass: multi-slot protection, tagged-word
+// protect_raw, slot hand-off patterns (the HM list's parity dance), and
+// retired-count accounting.
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "lfll/reclaim/hazard_pointers.hpp"
+
+namespace {
+
+using namespace lfll;
+using lfll_test::scaled;
+
+struct tracked {
+    static std::atomic<int> live;
+    int v;
+    explicit tracked(int x) : v(x) { live.fetch_add(1); }
+    ~tracked() { live.fetch_sub(1); }
+    static void deleter(void* p) { delete static_cast<tracked*>(p); }
+};
+std::atomic<int> tracked::live{0};
+
+TEST(HazardExtra, EachSlotProtectsIndependently) {
+    tracked::live = 0;
+    hazard_domain dom(4, 1);
+    std::atomic<tracked*> s0{new tracked(0)};
+    std::atomic<tracked*> s1{new tracked(1)};
+    hazard_domain::pin reader(dom);
+    tracked* p0 = reader.protect(0, s0);
+    tracked* p1 = reader.protect(1, s1);
+    {
+        hazard_domain::pin writer(dom);
+        writer.retire(s0.exchange(nullptr), &tracked::deleter);
+        writer.retire(s1.exchange(nullptr), &tracked::deleter);
+    }
+    dom.drain();
+    EXPECT_EQ(tracked::live.load(), 2);  // both slots hold
+    reader.clear(0);
+    dom.drain();
+    EXPECT_EQ(tracked::live.load(), 1);  // slot 1 still holds
+    EXPECT_EQ(p1->v, 1);
+    (void)p0;
+    reader.clear(1);
+    dom.drain();
+    EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(HazardExtra, ProtectRawStripsTagBits) {
+    tracked::live = 0;
+    hazard_domain dom(4, 1);
+    auto* t = new tracked(5);
+    // A tagged word: address | mark bit, like the HM list's next fields.
+    std::atomic<std::uintptr_t> word{reinterpret_cast<std::uintptr_t>(t) | 1u};
+    hazard_domain::pin reader(dom);
+    const std::uintptr_t got = reader.protect_raw(0, word, 1u);
+    EXPECT_EQ(got & 1u, 1u);  // the tag comes back to the caller
+    {
+        hazard_domain::pin writer(dom);
+        writer.retire(t, &tracked::deleter);
+    }
+    dom.drain();
+    // The hazard published the UNtagged address, so the scan must match
+    // it against the retired pointer and keep the node alive.
+    EXPECT_EQ(tracked::live.load(), 1);
+    EXPECT_EQ(reinterpret_cast<tracked*>(got & ~std::uintptr_t{1})->v, 5);
+    reader.clear_all();
+    dom.drain();
+    EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(HazardExtra, SetCopiesProtectionBetweenSlots) {
+    tracked::live = 0;
+    hazard_domain dom(4, 1);
+    std::atomic<tracked*> shared{new tracked(9)};
+    hazard_domain::pin reader(dom);
+    tracked* p = reader.protect(0, shared);
+    reader.set(1, p);   // duplicate the hazard
+    reader.clear(0);    // original slot released
+    {
+        hazard_domain::pin writer(dom);
+        writer.retire(shared.exchange(nullptr), &tracked::deleter);
+    }
+    dom.drain();
+    EXPECT_EQ(tracked::live.load(), 1) << "slot 1's copy must still protect";
+    reader.clear_all();
+    dom.drain();
+    EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(HazardExtra, RetiredCountTracksBacklog) {
+    tracked::live = 0;
+    hazard_domain dom(4, 1000000);  // no automatic scans
+    {
+        hazard_domain::pin pin(dom);
+        for (int i = 0; i < 25; ++i) pin.retire(new tracked(i), &tracked::deleter);
+        EXPECT_EQ(dom.retired_count(), 25u);
+    }
+    dom.drain();
+    EXPECT_EQ(dom.retired_count(), 0u);
+    EXPECT_EQ(tracked::live.load(), 0);
+}
+
+TEST(HazardExtra, ProtectFollowsRapidSwaps) {
+    // protect() must return a value that was CURRENT at publication time;
+    // under rapid swapping it may loop, but must terminate and be safe.
+    tracked::live = 0;
+    hazard_domain dom(8, 16);
+    std::atomic<tracked*> shared{new tracked(42)};
+    std::atomic<bool> stop{false};
+    std::thread swapper([&] {
+        hazard_domain::pin pin(dom);
+        while (!stop.load(std::memory_order_acquire)) {
+            tracked* fresh = new tracked(42);
+            tracked* old = shared.exchange(fresh, std::memory_order_acq_rel);
+            pin.retire(old, &tracked::deleter);
+        }
+    });
+    {
+        hazard_domain::pin reader(dom);
+        for (int i = 0; i < scaled(20000); ++i) {
+            tracked* p = reader.protect(0, shared);
+            ASSERT_NE(p, nullptr);
+            ASSERT_EQ(p->v, 42);  // never a freed node
+        }
+    }
+    stop.store(true, std::memory_order_release);
+    swapper.join();
+    delete shared.exchange(nullptr);
+    dom.drain();
+    EXPECT_EQ(tracked::live.load(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Test-size scaling. ThreadSanitizer costs 5-20x on CPU-bound code and
+// serializes far more on a single-core host (spinning waiters burn whole
+// quanta), so the heavy stress loops shrink under TSan: the interleaving
+// coverage per operation is *higher* there (TSan's scheduler shaking),
+// which more than compensates for the smaller op counts.
+#pragma once
+
+namespace lfll_test {
+
+#if !defined(LFLL_TEST_SCALE_TSAN)
+#if defined(__SANITIZE_THREAD__)
+#define LFLL_TEST_SCALE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LFLL_TEST_SCALE_TSAN 1
+#endif
+#endif
+#endif
+
+#if defined(LFLL_TEST_SCALE_TSAN)
+inline constexpr int scale_divisor = 20;
+#else
+inline constexpr int scale_divisor = 1;
+#endif
+
+constexpr int scaled(int n) {
+    const int s = n / scale_divisor;
+    return s > 0 ? s : 1;
+}
+
+}  // namespace lfll_test
