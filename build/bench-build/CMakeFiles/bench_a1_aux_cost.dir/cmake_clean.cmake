@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_aux_cost"
+  "../bench/bench_a1_aux_cost.pdb"
+  "CMakeFiles/bench_a1_aux_cost.dir/bench_a1_aux_cost.cpp.o"
+  "CMakeFiles/bench_a1_aux_cost.dir/bench_a1_aux_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_aux_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_reclaim"
+  "../bench/bench_a2_reclaim.pdb"
+  "CMakeFiles/bench_a2_reclaim.dir/bench_a2_reclaim.cpp.o"
+  "CMakeFiles/bench_a2_reclaim.dir/bench_a2_reclaim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_vs_locks"
+  "../bench/bench_e1_vs_locks.pdb"
+  "CMakeFiles/bench_e1_vs_locks.dir/bench_e1_vs_locks.cpp.o"
+  "CMakeFiles/bench_e1_vs_locks.dir/bench_e1_vs_locks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_vs_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

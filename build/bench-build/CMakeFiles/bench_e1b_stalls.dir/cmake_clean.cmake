@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1b_stalls"
+  "../bench/bench_e1b_stalls.pdb"
+  "CMakeFiles/bench_e1b_stalls.dir/bench_e1b_stalls.cpp.o"
+  "CMakeFiles/bench_e1b_stalls.dir/bench_e1b_stalls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1b_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_universal"
+  "../bench/bench_e2_universal.pdb"
+  "CMakeFiles/bench_e2_universal.dir/bench_e2_universal.cpp.o"
+  "CMakeFiles/bench_e2_universal.dir/bench_e2_universal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_universal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

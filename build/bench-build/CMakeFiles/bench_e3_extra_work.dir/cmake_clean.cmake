@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_extra_work"
+  "../bench/bench_e3_extra_work.pdb"
+  "CMakeFiles/bench_e3_extra_work.dir/bench_e3_extra_work.cpp.o"
+  "CMakeFiles/bench_e3_extra_work.dir/bench_e3_extra_work.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_extra_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3b_chaos"
+  "../bench/bench_e3b_chaos.pdb"
+  "CMakeFiles/bench_e3b_chaos.dir/bench_e3b_chaos.cpp.o"
+  "CMakeFiles/bench_e3b_chaos.dir/bench_e3b_chaos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3b_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_hash"
+  "../bench/bench_e4_hash.pdb"
+  "CMakeFiles/bench_e4_hash.dir/bench_e4_hash.cpp.o"
+  "CMakeFiles/bench_e4_hash.dir/bench_e4_hash.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_skiplist"
+  "../bench/bench_e5_skiplist.pdb"
+  "CMakeFiles/bench_e5_skiplist.dir/bench_e5_skiplist.cpp.o"
+  "CMakeFiles/bench_e5_skiplist.dir/bench_e5_skiplist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

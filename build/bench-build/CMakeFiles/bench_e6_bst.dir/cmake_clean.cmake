@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_bst"
+  "../bench/bench_e6_bst.pdb"
+  "CMakeFiles/bench_e6_bst.dir/bench_e6_bst.cpp.o"
+  "CMakeFiles/bench_e6_bst.dir/bench_e6_bst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_bst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

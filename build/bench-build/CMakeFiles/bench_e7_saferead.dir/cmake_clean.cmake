@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e7_saferead"
+  "../bench/bench_e7_saferead.pdb"
+  "CMakeFiles/bench_e7_saferead.dir/bench_e7_saferead.cpp.o"
+  "CMakeFiles/bench_e7_saferead.dir/bench_e7_saferead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_saferead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

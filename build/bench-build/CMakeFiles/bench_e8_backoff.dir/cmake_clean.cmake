@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e8_backoff"
+  "../bench/bench_e8_backoff.pdb"
+  "CMakeFiles/bench_e8_backoff.dir/bench_e8_backoff.cpp.o"
+  "CMakeFiles/bench_e8_backoff.dir/bench_e8_backoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_backoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_alloc"
+  "../bench/bench_e9_alloc.pdb"
+  "CMakeFiles/bench_e9_alloc.dir/bench_e9_alloc.cpp.o"
+  "CMakeFiles/bench_e9_alloc.dir/bench_e9_alloc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/event_log"
+  "../examples/event_log.pdb"
+  "CMakeFiles/event_log.dir/event_log.cpp.o"
+  "CMakeFiles/event_log.dir/event_log.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

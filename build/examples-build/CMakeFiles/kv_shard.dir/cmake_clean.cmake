@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/kv_shard"
+  "../examples/kv_shard.pdb"
+  "CMakeFiles/kv_shard.dir/kv_shard.cpp.o"
+  "CMakeFiles/kv_shard.dir/kv_shard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pubsub_broker"
+  "../examples/pubsub_broker.pdb"
+  "CMakeFiles/pubsub_broker.dir/pubsub_broker.cpp.o"
+  "CMakeFiles/pubsub_broker.dir/pubsub_broker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

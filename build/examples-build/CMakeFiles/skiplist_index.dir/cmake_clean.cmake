@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/skiplist_index"
+  "../examples/skiplist_index.pdb"
+  "CMakeFiles/skiplist_index.dir/skiplist_index.cpp.o"
+  "CMakeFiles/skiplist_index.dir/skiplist_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfll/harness/stats.cpp" "src/CMakeFiles/lfll.dir/lfll/harness/stats.cpp.o" "gcc" "src/CMakeFiles/lfll.dir/lfll/harness/stats.cpp.o.d"
+  "/root/repo/src/lfll/harness/table.cpp" "src/CMakeFiles/lfll.dir/lfll/harness/table.cpp.o" "gcc" "src/CMakeFiles/lfll.dir/lfll/harness/table.cpp.o.d"
+  "/root/repo/src/lfll/memory/buddy_allocator.cpp" "src/CMakeFiles/lfll.dir/lfll/memory/buddy_allocator.cpp.o" "gcc" "src/CMakeFiles/lfll.dir/lfll/memory/buddy_allocator.cpp.o.d"
+  "/root/repo/src/lfll/primitives/instrument.cpp" "src/CMakeFiles/lfll.dir/lfll/primitives/instrument.cpp.o" "gcc" "src/CMakeFiles/lfll.dir/lfll/primitives/instrument.cpp.o.d"
+  "/root/repo/src/lfll/reclaim/epoch.cpp" "src/CMakeFiles/lfll.dir/lfll/reclaim/epoch.cpp.o" "gcc" "src/CMakeFiles/lfll.dir/lfll/reclaim/epoch.cpp.o.d"
+  "/root/repo/src/lfll/reclaim/hazard_pointers.cpp" "src/CMakeFiles/lfll.dir/lfll/reclaim/hazard_pointers.cpp.o" "gcc" "src/CMakeFiles/lfll.dir/lfll/reclaim/hazard_pointers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfll.dir/lfll/harness/stats.cpp.o"
+  "CMakeFiles/lfll.dir/lfll/harness/stats.cpp.o.d"
+  "CMakeFiles/lfll.dir/lfll/harness/table.cpp.o"
+  "CMakeFiles/lfll.dir/lfll/harness/table.cpp.o.d"
+  "CMakeFiles/lfll.dir/lfll/memory/buddy_allocator.cpp.o"
+  "CMakeFiles/lfll.dir/lfll/memory/buddy_allocator.cpp.o.d"
+  "CMakeFiles/lfll.dir/lfll/primitives/instrument.cpp.o"
+  "CMakeFiles/lfll.dir/lfll/primitives/instrument.cpp.o.d"
+  "CMakeFiles/lfll.dir/lfll/reclaim/epoch.cpp.o"
+  "CMakeFiles/lfll.dir/lfll/reclaim/epoch.cpp.o.d"
+  "CMakeFiles/lfll.dir/lfll/reclaim/hazard_pointers.cpp.o"
+  "CMakeFiles/lfll.dir/lfll/reclaim/hazard_pointers.cpp.o.d"
+  "liblfll.a"
+  "liblfll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

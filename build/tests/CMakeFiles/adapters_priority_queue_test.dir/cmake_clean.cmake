@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapters_priority_queue_test.dir/adapters/priority_queue_test.cpp.o"
+  "CMakeFiles/adapters_priority_queue_test.dir/adapters/priority_queue_test.cpp.o.d"
+  "adapters_priority_queue_test"
+  "adapters_priority_queue_test.pdb"
+  "adapters_priority_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapters_priority_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapters_treiber_stack_test.dir/adapters/treiber_stack_test.cpp.o"
+  "CMakeFiles/adapters_treiber_stack_test.dir/adapters/treiber_stack_test.cpp.o.d"
+  "adapters_treiber_stack_test"
+  "adapters_treiber_stack_test.pdb"
+  "adapters_treiber_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapters_treiber_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

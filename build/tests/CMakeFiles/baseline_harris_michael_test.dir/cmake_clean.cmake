@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_harris_michael_test.dir/baseline/harris_michael_test.cpp.o"
+  "CMakeFiles/baseline_harris_michael_test.dir/baseline/harris_michael_test.cpp.o.d"
+  "baseline_harris_michael_test"
+  "baseline_harris_michael_test.pdb"
+  "baseline_harris_michael_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_harris_michael_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

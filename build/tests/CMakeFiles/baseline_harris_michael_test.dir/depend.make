@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_harris_michael_test.
+# This may be replaced when dependencies are built.

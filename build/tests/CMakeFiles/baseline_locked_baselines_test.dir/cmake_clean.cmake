@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_locked_baselines_test.dir/baseline/locked_baselines_test.cpp.o"
+  "CMakeFiles/baseline_locked_baselines_test.dir/baseline/locked_baselines_test.cpp.o.d"
+  "baseline_locked_baselines_test"
+  "baseline_locked_baselines_test.pdb"
+  "baseline_locked_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_locked_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_audit_test.dir/core/audit_test.cpp.o"
+  "CMakeFiles/core_audit_test.dir/core/audit_test.cpp.o.d"
+  "core_audit_test"
+  "core_audit_test.pdb"
+  "core_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cursor_test.dir/core/cursor_test.cpp.o"
+  "CMakeFiles/core_cursor_test.dir/core/cursor_test.cpp.o.d"
+  "core_cursor_test"
+  "core_cursor_test.pdb"
+  "core_cursor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cursor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_iterator_test.dir/core/iterator_test.cpp.o"
+  "CMakeFiles/core_iterator_test.dir/core/iterator_test.cpp.o.d"
+  "core_iterator_test"
+  "core_iterator_test.pdb"
+  "core_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_list_structure_test.dir/core/list_structure_test.cpp.o"
+  "CMakeFiles/core_list_structure_test.dir/core/list_structure_test.cpp.o.d"
+  "core_list_structure_test"
+  "core_list_structure_test.pdb"
+  "core_list_structure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_list_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

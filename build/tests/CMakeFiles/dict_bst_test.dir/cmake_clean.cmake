@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dict_bst_test.dir/dict/bst_test.cpp.o"
+  "CMakeFiles/dict_bst_test.dir/dict/bst_test.cpp.o.d"
+  "dict_bst_test"
+  "dict_bst_test.pdb"
+  "dict_bst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dict_bst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

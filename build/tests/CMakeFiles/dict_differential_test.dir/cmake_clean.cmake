@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dict_differential_test.dir/dict/differential_test.cpp.o"
+  "CMakeFiles/dict_differential_test.dir/dict/differential_test.cpp.o.d"
+  "dict_differential_test"
+  "dict_differential_test.pdb"
+  "dict_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dict_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

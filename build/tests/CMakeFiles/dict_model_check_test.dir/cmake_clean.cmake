@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dict_model_check_test.dir/dict/model_check_test.cpp.o"
+  "CMakeFiles/dict_model_check_test.dir/dict/model_check_test.cpp.o.d"
+  "dict_model_check_test"
+  "dict_model_check_test.pdb"
+  "dict_model_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dict_model_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dict_skip_list_test.dir/dict/skip_list_test.cpp.o"
+  "CMakeFiles/dict_skip_list_test.dir/dict/skip_list_test.cpp.o.d"
+  "dict_skip_list_test"
+  "dict_skip_list_test.pdb"
+  "dict_skip_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dict_skip_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dict_sorted_list_map_test.dir/dict/sorted_list_map_test.cpp.o"
+  "CMakeFiles/dict_sorted_list_map_test.dir/dict/sorted_list_map_test.cpp.o.d"
+  "dict_sorted_list_map_test"
+  "dict_sorted_list_map_test.pdb"
+  "dict_sorted_list_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dict_sorted_list_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dict_sorted_map_extra_test.dir/dict/sorted_map_extra_test.cpp.o"
+  "CMakeFiles/dict_sorted_map_extra_test.dir/dict/sorted_map_extra_test.cpp.o.d"
+  "dict_sorted_map_extra_test"
+  "dict_sorted_map_extra_test.pdb"
+  "dict_sorted_map_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dict_sorted_map_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_latency_test.dir/harness/latency_test.cpp.o"
+  "CMakeFiles/harness_latency_test.dir/harness/latency_test.cpp.o.d"
+  "harness_latency_test"
+  "harness_latency_test.pdb"
+  "harness_latency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for memory_buddy_allocator_test.
+# This may be replaced when dependencies are built.

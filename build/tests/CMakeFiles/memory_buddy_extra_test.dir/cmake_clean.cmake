@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_buddy_extra_test.dir/memory/buddy_extra_test.cpp.o"
+  "CMakeFiles/memory_buddy_extra_test.dir/memory/buddy_extra_test.cpp.o.d"
+  "memory_buddy_extra_test"
+  "memory_buddy_extra_test.pdb"
+  "memory_buddy_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_buddy_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for memory_buddy_extra_test.
+# This may be replaced when dependencies are built.

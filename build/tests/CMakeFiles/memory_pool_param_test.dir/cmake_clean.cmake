@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_pool_param_test.dir/memory/pool_param_test.cpp.o"
+  "CMakeFiles/memory_pool_param_test.dir/memory/pool_param_test.cpp.o.d"
+  "memory_pool_param_test"
+  "memory_pool_param_test.pdb"
+  "memory_pool_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_pool_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_refcount_test.dir/memory/refcount_test.cpp.o"
+  "CMakeFiles/memory_refcount_test.dir/memory/refcount_test.cpp.o.d"
+  "memory_refcount_test"
+  "memory_refcount_test.pdb"
+  "memory_refcount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_refcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

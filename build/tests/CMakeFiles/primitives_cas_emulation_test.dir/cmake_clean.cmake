@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitives_cas_emulation_test.dir/primitives/cas_emulation_test.cpp.o"
+  "CMakeFiles/primitives_cas_emulation_test.dir/primitives/cas_emulation_test.cpp.o.d"
+  "primitives_cas_emulation_test"
+  "primitives_cas_emulation_test.pdb"
+  "primitives_cas_emulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitives_cas_emulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

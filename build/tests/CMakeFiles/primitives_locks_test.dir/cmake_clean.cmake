@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitives_locks_test.dir/primitives/locks_test.cpp.o"
+  "CMakeFiles/primitives_locks_test.dir/primitives/locks_test.cpp.o.d"
+  "primitives_locks_test"
+  "primitives_locks_test.pdb"
+  "primitives_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitives_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

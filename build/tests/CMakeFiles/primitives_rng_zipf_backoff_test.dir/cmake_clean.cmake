@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitives_rng_zipf_backoff_test.dir/primitives/rng_zipf_backoff_test.cpp.o"
+  "CMakeFiles/primitives_rng_zipf_backoff_test.dir/primitives/rng_zipf_backoff_test.cpp.o.d"
+  "primitives_rng_zipf_backoff_test"
+  "primitives_rng_zipf_backoff_test.pdb"
+  "primitives_rng_zipf_backoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitives_rng_zipf_backoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_epoch_test.dir/reclaim/epoch_test.cpp.o"
+  "CMakeFiles/reclaim_epoch_test.dir/reclaim/epoch_test.cpp.o.d"
+  "reclaim_epoch_test"
+  "reclaim_epoch_test.pdb"
+  "reclaim_epoch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_epoch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_hazard_extra_test.dir/reclaim/hazard_extra_test.cpp.o"
+  "CMakeFiles/reclaim_hazard_extra_test.dir/reclaim/hazard_extra_test.cpp.o.d"
+  "reclaim_hazard_extra_test"
+  "reclaim_hazard_extra_test.pdb"
+  "reclaim_hazard_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_hazard_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
