@@ -4,10 +4,13 @@
 // counting (§5). Later practice replaced it with hazard pointers and
 // epochs because counting pays two RMWs per *traversal hop*, while HP
 // pays per hop only fenced stores and EBR pays per *operation*. This
-// bench holds the structure constant where possible:
-//   * harris-michael list under hazard / epoch / leaky domains, and
-//   * the valois list (whose refcounting is load-bearing and cannot be
-//     swapped out — the aux-node algorithm needs cell persistence),
+// bench holds the structure constant:
+//   * the SAME valois sorted map under all three MemoryPolicy plugs
+//     (§5 refcount / hazard / epoch) — the policy layer swaps only the
+//     traversal-protection and reclamation-deferral seams, so the rows
+//     isolate exactly the per-hop cost the paper's §6 remark is about,
+//   * harris-michael list under hazard / epoch / leaky domains as the
+//     established-practice baseline,
 // on an identical workload.
 #include <memory>
 
@@ -15,6 +18,8 @@
 #include "lfll/baseline/harris_michael_list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
 #include "lfll/reclaim/epoch.hpp"
+#include "lfll/reclaim/epoch_policy.hpp"
+#include "lfll/reclaim/hazard_policy.hpp"
 #include "lfll/reclaim/leaky.hpp"
 
 namespace {
@@ -26,6 +31,14 @@ void run_mix(const op_mix& mix, std::uint64_t keys, int millis) {
     table t({"scheme", "threads", "ops/s", "retries/op", "cas_fail/op"});
     sweep_threads(t, "valois-refcount", mix, keys, millis,
                   [&] { return std::make_unique<sorted_list_map<int, int>>(2 * keys); });
+    sweep_threads(t, "valois-hazard", mix, keys, millis, [&] {
+        return std::make_unique<sorted_list_map<int, int, std::less<int>, hazard_policy>>(
+            2 * keys);
+    });
+    sweep_threads(t, "valois-epoch", mix, keys, millis, [&] {
+        return std::make_unique<sorted_list_map<int, int, std::less<int>, epoch_policy>>(
+            2 * keys);
+    });
     sweep_threads(t, "hm-hazard", mix, keys, millis, [&] {
         return std::make_unique<harris_michael_list<int, int, hazard_domain>>();
     });

@@ -10,6 +10,13 @@
 //                        "hardware SafeRead" upper bound the paper asks
 //                        for: what traversal would cost if protection
 //                        were free).
+//   * valois-hazard /
+//     valois-epoch     — the SAME valois cursor traversal with the
+//                        MemoryPolicy seam swapped: hazard pays a
+//                        publish + revalidate + count per hop, epoch a
+//                        plain acquire load under one pin per cursor —
+//                        i.e. the paper's §6 wish, implemented in
+//                        software.
 //   * hm-hazard        — Harris-Michael list, hazard-pointer protected
 //                        (two fenced stores + revalidation per hop).
 //   * hm-epoch         — Harris-Michael under epochs: one pin per full
@@ -26,6 +33,8 @@
 #include "lfll/core/list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
 #include "lfll/reclaim/epoch.hpp"
+#include "lfll/reclaim/epoch_policy.hpp"
+#include "lfll/reclaim/hazard_policy.hpp"
 #include "lfll/reclaim/leaky.hpp"
 
 namespace {
@@ -34,31 +43,36 @@ using namespace lfll;
 
 constexpr int kCells = 1024;
 
-sorted_list_map<int, int>& valois_map() {
-    static sorted_list_map<int, int>* m = [] {
-        auto* map = new sorted_list_map<int, int>(2 * kCells);
+template <typename Policy = valois_refcount>
+sorted_list_map<int, int, std::less<int>, Policy>& valois_map() {
+    static sorted_list_map<int, int, std::less<int>, Policy>* m = [] {
+        auto* map = new sorted_list_map<int, int, std::less<int>, Policy>(2 * kCells);
         for (int k = 0; k < kCells; ++k) map->insert(k, k);
         return map;
     }();
     return *m;
 }
 
-void BM_ValoisSafeReadTraversal(benchmark::State& state) {
-    auto& map = valois_map();
+template <typename Policy>
+void BM_ValoisPolicyTraversal(benchmark::State& state) {
+    auto& map = valois_map<Policy>();
     long sum = 0;
     for (auto _ : state) {
-        for (sorted_list_map<int, int>::cursor c(map.list()); !c.at_end();
-             map.list().next(c)) {
+        for (typename sorted_list_map<int, int, std::less<int>, Policy>::cursor c(
+                 map.list());
+             !c.at_end(); map.list().next(c)) {
             sum += (*c).first;
         }
     }
     benchmark::DoNotOptimize(sum);
     state.SetItemsProcessed(state.iterations() * kCells);
 }
-BENCHMARK(BM_ValoisSafeReadTraversal);
+BENCHMARK(BM_ValoisPolicyTraversal<valois_refcount>)->Name("BM_ValoisSafeReadTraversal");
+BENCHMARK(BM_ValoisPolicyTraversal<hazard_policy>)->Name("BM_ValoisHazardTraversal");
+BENCHMARK(BM_ValoisPolicyTraversal<epoch_policy>)->Name("BM_ValoisEpochTraversal");
 
 void BM_ValoisRawTraversal(benchmark::State& state) {
-    auto& list = valois_map().list();
+    auto& list = valois_map<>().list();
     long sum = 0;
     for (auto _ : state) {
         // Unprotected walk: only sound because this benchmark is
@@ -100,7 +114,7 @@ BENCHMARK(BM_HarrisMichaelTraversal<leaky_domain>)->Name("BM_HMLeakyTraversal");
 
 void BM_SafeReadSingle(benchmark::State& state) {
     // The primitive itself: one SafeRead + Release pair.
-    auto& list = valois_map().list();
+    auto& list = valois_map<>().list();
     auto& pool = list.pool();
     for (auto _ : state) {
         auto* p = pool.safe_read(list.head()->next);
@@ -110,7 +124,7 @@ void BM_SafeReadSingle(benchmark::State& state) {
 BENCHMARK(BM_SafeReadSingle);
 
 void BM_PlainAcquireLoad(benchmark::State& state) {
-    auto& list = valois_map().list();
+    auto& list = valois_map<>().list();
     for (auto _ : state) {
         benchmark::DoNotOptimize(list.head()->next.load(std::memory_order_acquire));
     }

@@ -17,11 +17,13 @@
 
 namespace lfll {
 
-template <typename Priority, typename T, typename Compare = std::less<Priority>>
+template <typename Priority, typename T, typename Compare = std::less<Priority>,
+          typename Policy = valois_refcount>
 class lf_priority_queue {
 public:
     using entry = std::pair<Priority, T>;
-    using list_type = valois_list<entry>;
+    using policy_type = Policy;
+    using list_type = valois_list<entry, Policy>;
     using cursor = typename list_type::cursor;
 
     explicit lf_priority_queue(std::size_t initial_capacity = 1024, Compare cmp = Compare{})

@@ -18,10 +18,11 @@
 
 namespace lfll {
 
-template <typename T>
+template <typename T, typename Policy = valois_refcount>
 class lf_queue {
 public:
-    using list_type = valois_list<T>;
+    using policy_type = Policy;
+    using list_type = valois_list<T, Policy>;
     using cursor = typename list_type::cursor;
 
     explicit lf_queue(std::size_t initial_capacity = 1024) : list_(initial_capacity) {}

@@ -22,10 +22,13 @@
 
 namespace lfll {
 
-template <typename T>
+template <typename T, typename Policy = valois_refcount>
 class treiber_stack {
 public:
-    using node = list_node<T>;
+    using policy_type = Policy;
+    using node = list_node<T, Policy>;
+    using pool_type = node_pool<node, Policy>;
+    using guard = typename pool_type::guard;
 
     explicit treiber_stack(std::size_t initial_capacity = 1024)
         : pool_(initial_capacity) {}
@@ -49,37 +52,39 @@ public:
             // like the free list's push), so no count adjustment is
             // needed for `head`; q itself needs one for head_.
             q->next.store(head, std::memory_order_relaxed);
-            pool_.add_ref(q);
+            pool_.ref(q);
             if (head_.compare_exchange_weak(head, q, std::memory_order_seq_cst,
                                             std::memory_order_acquire)) {
-                pool_.release(q);  // our private alloc reference
+                pool_.unref(q);  // our private alloc reference
                 return;
             }
-            pool_.release(q);  // undo; retry with the refreshed head
+            pool_.unref(q);  // undo; retry with the refreshed head
             bo();
         }
     }
 
     std::optional<T> pop() {
+        guard g = pool_.make_guard();
         backoff bo;
         for (;;) {
-            node* q = pool_.safe_read(head_);
+            node* q = pool_.protect(head_);
             if (q == nullptr) return std::nullopt;
             node* next = q->next.load(std::memory_order_acquire);
             node* expected = q;
             if (head_.compare_exchange_strong(expected, next, std::memory_order_seq_cst,
                                               std::memory_order_acquire)) {
-                // q->next keeps its counted link to `next` until q's
-                // reclamation cascade drops it (cell persistence), so
-                // head_ must take its own reference. Safe: `next` is
-                // pinned by that very link while we pin q.
-                pool_.add_ref(next);   // head_'s new reference
-                pool_.release(q);      // head_'s old reference to q
+                // A successful CAS proves head_ still held its counted
+                // reference to q, which is now ours; q->next keeps its
+                // counted link to `next` until q's reclamation cascade
+                // drops it (cell persistence), so `next` is provably
+                // live and head_ can take a plain reference for it.
+                pool_.ref(next);       // head_'s new reference
                 T out = std::move(q->value());
-                pool_.release(q);      // our SafeRead reference
+                pool_.drop(q);         // our traversal reference
+                pool_.unref(q);        // head_'s old reference to q
                 return out;
             }
-            pool_.release(q);
+            pool_.drop(q);
             bo();
         }
     }
@@ -95,10 +100,10 @@ public:
         return n;
     }
 
-    node_pool<node>& pool() noexcept { return pool_; }
+    pool_type& pool() noexcept { return pool_; }
 
 private:
-    node_pool<node> pool_;
+    pool_type pool_;
     alignas(cacheline_size) std::atomic<node*> head_{nullptr};
 };
 

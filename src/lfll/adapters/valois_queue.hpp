@@ -25,10 +25,13 @@
 
 namespace lfll {
 
-template <typename T>
+template <typename T, typename Policy = valois_refcount>
 class valois_queue {
 public:
-    using node = list_node<T>;
+    using policy_type = Policy;
+    using node = list_node<T, Policy>;
+    using pool_type = node_pool<node, Policy>;
+    using guard = typename pool_type::guard;
 
     explicit valois_queue(std::size_t initial_capacity = 1024)
         : pool_(initial_capacity + 1) {
@@ -36,7 +39,7 @@ public:
         // head_ and tail_ both reference the dummy: its alloc reference
         // covers head_; tail_ needs its own.
         head_ = dummy;
-        tail_ = pool_.add_ref(dummy);
+        tail_ = pool_.ref(dummy);
     }
 
     /// Quiescent teardown: walk off remaining nodes.
@@ -44,8 +47,8 @@ public:
         while (dequeue().has_value()) {
         }
         node* h = head_.load(std::memory_order_relaxed);
-        pool_.release(tail_.load(std::memory_order_relaxed));
-        pool_.release(h);
+        pool_.unref(tail_.load(std::memory_order_relaxed));
+        pool_.unref(h);
     }
 
     valois_queue(const valois_queue&) = delete;
@@ -54,63 +57,78 @@ public:
     void enqueue(T value) {
         node* q = pool_.alloc();
         q->construct_cell(std::move(value));
+        guard g = pool_.make_guard();
         backoff bo;
-        node* p = pool_.safe_read(tail_);
+        node* t0 = pool_.protect(tail_);  // kept for the swing below
+        node* p = pool_.copy(t0);
         for (;;) {
             // Try to link q after p; on failure advance p to its
-            // successor (we lost to another enqueuer).
+            // successor (we lost to another enqueuer). Linking into a
+            // retired p is impossible: a node with a null next field is
+            // the end of the chain, still counted by its predecessor's
+            // link (or head_), so the CAS can only succeed on a live p.
             node* expected = nullptr;
-            pool_.add_ref(q);  // the prospective link's reference
+            pool_.ref(q);  // the prospective link's reference (q is ours)
             if (p->next.compare_exchange_strong(expected, q, std::memory_order_seq_cst,
                                                 std::memory_order_acquire)) {
                 break;
             }
-            pool_.release(q);  // undo the speculative link reference
-            node* succ = pool_.safe_read(p->next);
-            pool_.release(p);
+            pool_.unref(q);  // undo the speculative link reference
+            node* succ = pool_.protect(p->next);
+            pool_.drop(p);
             p = succ;
             bo();
         }
-        // Swing the lagging tail (best effort, one attempt): q gains the
-        // tail_ reference; the displaced node loses it.
-        pool_.add_ref(q);
-        node* old_tail = p;  // not necessarily the current tail_, that's fine
-        if (tail_.compare_exchange_strong(old_tail, q, std::memory_order_seq_cst,
+        // Swing the lagging tail (best effort, one attempt). The expected
+        // value must be t0 — the value we actually read from tail_ — not
+        // the end node we walked to: an expected-end swing can only
+        // succeed while the lag is zero, so after one adverse interleave
+        // leaves tail_ behind, no enqueuer would ever present the value
+        // tail_ really holds and the lag (and every subsequent enqueue's
+        // walk) would grow without bound. A successful CAS proves tail_
+        // still counted t0, and that reference becomes ours.
+        pool_.ref(q);  // tail_'s prospective reference
+        node* expected_tail = t0;
+        if (tail_.compare_exchange_strong(expected_tail, q, std::memory_order_seq_cst,
                                           std::memory_order_acquire)) {
-            pool_.release(p);  // tail_'s reference to the old node
+            pool_.unref(t0);  // tail_'s reference to the displaced node
         } else {
-            pool_.release(q);  // someone else advanced it further
+            pool_.unref(q);  // someone else advanced it further
         }
-        pool_.release(p);  // our traversal reference
-        pool_.release(q);  // our private reference from alloc
+        pool_.drop(p);   // our traversal reference (walk position)
+        pool_.drop(t0);  // our traversal reference (swing anchor)
+        pool_.unref(q);  // our private reference from alloc
     }
 
     std::optional<T> dequeue() {
+        guard g = pool_.make_guard();
         backoff bo;
         for (;;) {
-            node* h = pool_.safe_read(head_);
-            node* first = pool_.safe_read(h->next);
+            node* h = pool_.protect(head_);
+            node* first = pool_.protect(h->next);
             if (first == nullptr) {
-                pool_.release(h);
+                pool_.drop(h);
                 return std::nullopt;  // empty (linearizes at the null read)
             }
             // first gains the head_ root reference (speculatively).
-            pool_.add_ref(first);
+            // Plain ref is sound: h is unreclaimed under our guard, so
+            // its next link still counts `first`.
+            pool_.ref(first);
             node* expected = h;
             if (head_.compare_exchange_strong(expected, first, std::memory_order_seq_cst,
                                               std::memory_order_acquire)) {
                 T out = std::move(first->value());
-                pool_.release(h);      // head_'s reference to the old dummy
-                pool_.release(h);      // our traversal reference
-                pool_.release(first);  // our traversal reference
+                pool_.drop(first);  // our traversal reference
+                pool_.drop(h);      // our traversal reference
+                pool_.unref(h);     // head_'s reference to the old dummy
                 // first remains in the structure as the new dummy; its
                 // payload has been moved out but stays constructed until
                 // the node is reclaimed (cell persistence, §2.2).
                 return out;
             }
-            pool_.release(first);  // undo speculation
-            pool_.release(first);  // traversal reference
-            pool_.release(h);
+            pool_.unref(first);  // undo speculation
+            pool_.drop(first);   // traversal reference
+            pool_.drop(h);
             bo();
         }
     }
@@ -133,10 +151,10 @@ public:
         return n;
     }
 
-    node_pool<node>& pool() noexcept { return pool_; }
+    pool_type& pool() noexcept { return pool_; }
 
 private:
-    node_pool<node> pool_;
+    pool_type pool_;
     alignas(cacheline_size) std::atomic<node*> head_{nullptr};
     alignas(cacheline_size) std::atomic<node*> tail_{nullptr};
 };

@@ -17,7 +17,10 @@
 //                                      pointers) in the in-degree tally.
 //
 // All functions here require quiescence (no concurrent mutators); the
-// stress tests call them after joining their worker threads.
+// stress tests call them after joining their worker threads. Under a
+// deferred policy (hazard/epoch) also drain_retired() first: a banked
+// node still carries its claim bit and sits on no free list, which the
+// audit would report as a leak.
 #pragma once
 
 #include <cstddef>
@@ -56,8 +59,8 @@ inline void audit_fail(audit_report& r, const std::string& msg) {
 /// Tallies the payload's counted links (if the payload type exposes any)
 /// into the in-degree map, enqueuing unseen targets for the pinned
 /// closure.
-template <typename T, typename Tally>
-void tally_payload_links(const list_node<T>* n, Tally&& tally) {
+template <typename T, typename Policy, typename Tally>
+void tally_payload_links(const list_node<T, Policy>* n, Tally&& tally) {
     if constexpr (requires(const T& t) { t.counted_links(tally); }) {
         if (n->kind.load(std::memory_order_acquire) == node_kind::cell) {
             n->value().counted_links(tally);
@@ -70,12 +73,12 @@ void tally_payload_links(const list_node<T>* n, Tally&& tally) {
 /// Audits `lists` (all built on `pool`). `external_refs` maps node ->
 /// reference count for references held outside the structures (live
 /// cursors, unreleased make_cell/make_aux results).
-template <typename T>
+template <typename T, typename Policy>
 audit_report audit_shared(
-    const node_pool<list_node<T>>& pool,
-    const std::vector<valois_list<T>*>& lists,
-    const std::map<const list_node<T>*, std::size_t>& external_refs = {}) {
-    using node = list_node<T>;
+    const node_pool<list_node<T, Policy>, Policy>& pool,
+    const std::vector<valois_list<T, Policy>*>& lists,
+    const std::map<const list_node<T, Policy>*, std::size_t>& external_refs = {}) {
+    using node = list_node<T, Policy>;
     audit_report r;
 
     std::map<const node*, std::size_t> indegree;
@@ -89,7 +92,7 @@ audit_report audit_shared(
     };
 
     // --- walk every list, checking shape --------------------------------
-    for (valois_list<T>* list : lists) {
+    for (valois_list<T, Policy>* list : lists) {
         const node* head = list->head();
         const node* tail = list->tail();
         indegree[head] += 1;  // the head_ root pointer
@@ -226,10 +229,12 @@ audit_report audit_shared(
 
 /// Full structural + memory audit of a single quiescent list that owns
 /// its pool.
-template <typename T>
-audit_report audit_list(valois_list<T>& list,
-                        const std::map<const list_node<T>*, std::size_t>& external_refs = {}) {
-    return audit_shared(list.pool(), std::vector<valois_list<T>*>{&list}, external_refs);
+template <typename T, typename Policy>
+audit_report audit_list(
+    valois_list<T, Policy>& list,
+    const std::map<const list_node<T, Policy>*, std::size_t>& external_refs = {}) {
+    return audit_shared(list.pool(), std::vector<valois_list<T, Policy>*>{&list},
+                        external_refs);
 }
 
 }  // namespace lfll

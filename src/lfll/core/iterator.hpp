@@ -19,7 +19,7 @@
 
 namespace lfll {
 
-template <typename T>
+template <typename T, typename Policy = valois_refcount>
 class list_iterator {
 public:
     using iterator_category = std::input_iterator_tag;
@@ -30,7 +30,7 @@ public:
 
     list_iterator() = default;  // end sentinel
 
-    explicit list_iterator(valois_list<T>& list) : cursor_(list) {
+    explicit list_iterator(valois_list<T, Policy>& list) : cursor_(list) {
         if (cursor_.at_end()) cursor_.reset();
     }
 
@@ -55,24 +55,24 @@ public:
     }
 
 private:
-    typename valois_list<T>::cursor cursor_;
+    typename valois_list<T, Policy>::cursor cursor_;
 };
 
 /// Range adaptor: `for (auto& v : lfll::range(list))`.
-template <typename T>
+template <typename T, typename Policy = valois_refcount>
 class list_range {
 public:
-    explicit list_range(valois_list<T>& list) : list_(&list) {}
-    list_iterator<T> begin() const { return list_iterator<T>(*list_); }
-    list_iterator<T> end() const { return list_iterator<T>(); }
+    explicit list_range(valois_list<T, Policy>& list) : list_(&list) {}
+    list_iterator<T, Policy> begin() const { return list_iterator<T, Policy>(*list_); }
+    list_iterator<T, Policy> end() const { return list_iterator<T, Policy>(); }
 
 private:
-    valois_list<T>* list_;
+    valois_list<T, Policy>* list_;
 };
 
-template <typename T>
-list_range<T> range(valois_list<T>& list) {
-    return list_range<T>(list);
+template <typename T, typename Policy>
+list_range<T, Policy> range(valois_list<T, Policy>& list) {
+    return list_range<T, Policy>(list);
 }
 
 }  // namespace lfll

@@ -8,8 +8,12 @@
 //     TryDelete compact them.
 //
 // All mutation is by single-word CAS on `next` fields, with the counted-
-// link discipline described in memory/node_pool.hpp. The operations map
-// 1:1 onto the paper's figures:
+// link discipline described in memory/node_pool.hpp. Reclamation is
+// pluggable (memory/policy.hpp): the Policy parameter decides what a
+// traversal hop costs (SafeRead's two RMWs, a hazard publish, or a plain
+// load under an epoch pin) and when dead nodes recycle; the default is
+// the paper's §5 scheme, under which the operations map 1:1 onto the
+// paper's figures:
 //   first()      — Fig. 6        try_insert() — Fig. 9
 //   next()       — Fig. 7        try_delete() — Fig. 10
 //   update()     — Fig. 5
@@ -23,15 +27,18 @@
 
 #include "lfll/core/node.hpp"
 #include "lfll/memory/node_pool.hpp"
+#include "lfll/memory/policy.hpp"
 #include "lfll/primitives/instrument.hpp"
 
 namespace lfll {
 
-template <typename T>
+template <typename T, typename Policy = valois_refcount>
 class valois_list {
 public:
-    using node = list_node<T>;
-    using pool_type = node_pool<node>;
+    using policy_type = Policy;
+    using node = list_node<T, Policy>;
+    using pool_type = node_pool<node, Policy>;
+    using guard = typename pool_type::guard;
 
     class cursor;
 
@@ -59,7 +66,7 @@ private:
         // root pointers keep the private references alloc() handed us; the
         // head->aux link consumes aux's private reference; the aux->tail
         // link is a second reference on tail and must be acquired.
-        aux->next.store(pool_->add_ref(tail_), std::memory_order_relaxed);
+        aux->next.store(pool_->ref(tail_), std::memory_order_relaxed);
         head_->next.store(aux, std::memory_order_relaxed);
     }
 
@@ -74,27 +81,31 @@ public:
     ~valois_list() {
         if (head_ != nullptr) {
             node* first_aux = head_->next.exchange(nullptr, std::memory_order_acq_rel);
-            pool_->release(first_aux);  // cascades down the chain
-            pool_->release(head_);
-            pool_->release(tail_);
+            pool_->unref(first_aux);  // cascades down the chain
+            pool_->unref(head_);
+            pool_->unref(tail_);
         }
     }
 
     valois_list(const valois_list&) = delete;
     valois_list& operator=(const valois_list&) = delete;
 
-    /// A cursor is the paper's (pre_cell, pre_aux, target) triple. It owns
-    /// one counted reference on each non-null pointer, so the nodes it
-    /// points at — even deleted ones — cannot be recycled under it.
+    /// A cursor is the paper's (pre_cell, pre_aux, target) triple. It
+    /// holds one traversal reference on each non-null pointer and keeps a
+    /// policy guard engaged for its whole attached lifetime, so the nodes
+    /// it points at — even deleted ones — cannot be recycled under it
+    /// (counts under refcount/hazard, the pin's grace period under
+    /// epochs). Cursors are thread-local objects: copy them only on the
+    /// owning thread.
     class cursor {
     public:
         cursor() = default;
         explicit cursor(valois_list& l) : list_(&l) { l.first(*this); }
 
-        cursor(const cursor& o) : list_(o.list_) {
-            pre_cell_ = add_ref(o.pre_cell_);
-            pre_aux_ = add_ref(o.pre_aux_);
-            target_ = add_ref(o.target_);
+        cursor(const cursor& o) : list_(o.list_), guard_(o.guard_) {
+            pre_cell_ = copy(o.pre_cell_);
+            pre_aux_ = copy(o.pre_aux_);
+            target_ = copy(o.target_);
         }
 
         cursor& operator=(const cursor& o) {
@@ -115,13 +126,15 @@ public:
 
         ~cursor() { reset(); }
 
-        /// Releases all references; cursor becomes detached.
+        /// Releases all references (then the guard); cursor becomes
+        /// detached.
         void reset() noexcept {
             if (list_ == nullptr) return;
-            list_->pool_->release(pre_cell_);
-            list_->pool_->release(pre_aux_);
-            list_->pool_->release(target_);
+            list_->pool_->drop(pre_cell_);
+            list_->pool_->drop(pre_aux_);
+            list_->pool_->drop(target_);
             pre_cell_ = pre_aux_ = target_ = nullptr;
+            guard_.reset();
         }
 
         /// True when the cursor is at the end-of-list position.
@@ -151,6 +164,7 @@ public:
 
         void swap(cursor& o) noexcept {
             std::swap(list_, o.list_);
+            guard_.swap(o.guard_);
             std::swap(pre_cell_, o.pre_cell_);
             std::swap(pre_aux_, o.pre_aux_);
             std::swap(target_, o.target_);
@@ -159,11 +173,12 @@ public:
     private:
         friend class valois_list;
 
-        node* add_ref(node* p) const noexcept {
-            return list_ == nullptr ? nullptr : list_->pool_->add_ref(p);
+        node* copy(node* p) const noexcept {
+            return list_ == nullptr ? nullptr : list_->pool_->copy(p);
         }
 
         valois_list* list_ = nullptr;
+        guard guard_;
         node* pre_cell_ = nullptr;
         node* pre_aux_ = nullptr;
         node* target_ = nullptr;
@@ -175,8 +190,9 @@ public:
     void first(cursor& c) {
         c.reset();
         c.list_ = this;
-        c.pre_cell_ = pool_->add_ref(head_);  // root pointer never changes
-        c.pre_aux_ = pool_->safe_read(head_->next);
+        c.guard_ = pool_->make_guard();
+        c.pre_cell_ = pool_->copy(head_);  // root pointer never changes
+        c.pre_aux_ = pool_->protect(head_->next);
         c.target_ = nullptr;
         update(c);
     }
@@ -185,10 +201,10 @@ public:
     bool next(cursor& c) {
         assert(c.list_ == this && c.target_ != nullptr);
         if (c.target_->is_tail()) return false;
-        pool_->release(c.pre_cell_);
-        c.pre_cell_ = pool_->add_ref(c.target_);
-        pool_->release(c.pre_aux_);
-        c.pre_aux_ = pool_->safe_read(c.target_->next);
+        pool_->drop(c.pre_cell_);
+        c.pre_cell_ = pool_->copy(c.target_);
+        pool_->drop(c.pre_aux_);
+        c.pre_aux_ = pool_->protect(c.target_->next);
         update(c);
         return true;
     }
@@ -203,16 +219,16 @@ public:
         }
         auto& ctr = instrument::tls();
         node* p = c.pre_aux_;  // we inherit the cursor's reference on p
-        node* n = pool_->safe_read(p->next);
-        pool_->release(c.target_);
+        node* n = pool_->protect(p->next);
+        pool_->drop(c.target_);
         c.target_ = nullptr;
         while (n->is_aux()) {
             ctr.aux_hops++;
             // Compact the chain behind pre_cell. Best effort: failure just
             // means someone else is restructuring here.
             if (swing(c.pre_cell_->next, p, n)) ctr.aux_compactions++;
-            node* nn = pool_->safe_read(n->next);
-            pool_->release(p);
+            node* nn = pool_->protect(n->next);
+            pool_->drop(p);
             p = n;
             n = nn;
         }
@@ -223,9 +239,10 @@ public:
     // --- mutation (Figs. 9-10) -------------------------------------------
 
     /// Allocates a cell node carrying `args...` and an auxiliary node, for
-    /// use with try_insert. The caller owns one reference on each and must
-    /// release them (release_node) when done — whether or not the pair was
-    /// successfully inserted (the list takes its own references via links).
+    /// use with try_insert. The caller owns one counted reference on each
+    /// and must release them (release_node) when done — whether or not the
+    /// pair was successfully inserted (the list takes its own references
+    /// via links).
     template <typename... Args>
     node* make_cell(Args&&... args) {
         node* q = pool_->alloc();
@@ -239,15 +256,20 @@ public:
         return a;
     }
 
-    void release_node(node* p) noexcept { pool_->release(p); }
+    void release_node(node* p) noexcept { pool_->unref(p); }
 
     /// Fig. 9: inserts cell q followed by auxiliary node a at the position
     /// before c's target. Requires c valid; returns false (leaving q and a
-    /// unlinked, reusable for a retry) if the CAS loses a race.
+    /// unlinked, reusable for a retry) if the CAS loses a race — or if the
+    /// cursor's target has already been retired under a deferred policy
+    /// (the cursor is then stale by definition; update() recovers).
     bool try_insert(cursor& c, node* q, node* a) {
         assert(c.list_ == this && q->is_cell() && a->is_aux());
         store_link(q->next, a);
-        store_link(a->next, c.target_);
+        if (!store_link_checked(a->next, c.target_)) {
+            instrument::tls().insert_retries++;
+            return false;
+        }
         if (swing(c.pre_aux_->next, c.target_, q)) return true;
         instrument::tls().insert_retries++;
         return false;
@@ -259,8 +281,8 @@ public:
         node* q = make_cell(std::move(value));
         node* a = make_aux();
         while (!try_insert(c, q, a)) update(c);
-        pool_->release(q);
-        pool_->release(a);
+        pool_->unref(q);
+        pool_->unref(a);
         update(c);
     }
 
@@ -273,33 +295,36 @@ public:
         if (!d->is_cell()) return false;  // cannot delete the dummies
         auto& ctr = instrument::tls();
         // Unlink d: swing pre_aux's next from d to the aux after d.
-        node* n = pool_->safe_read(d->next);
+        node* n = pool_->protect(d->next);
         if (!swing(c.pre_aux_->next, d, n)) {
-            pool_->release(n);
+            pool_->drop(n);
             ctr.delete_retries++;
             return false;
         }
         // Fig. 10 line 6: leave a trail for deleters of adjacent cells.
-        store_link(d->back_link, c.pre_cell_);
+        // Best effort under deferred policies: if pre_cell was itself
+        // retired meanwhile, the trail stays null and retreating deleters
+        // simply stop one hop short (compaction remains best-effort).
+        store_link_checked(d->back_link, c.pre_cell_);
 
         // Retreat to the first cell that has not itself been deleted.
-        node* p = pool_->add_ref(c.pre_cell_);
+        node* p = pool_->copy(c.pre_cell_);
         for (;;) {
-            node* bl = pool_->safe_read(p->back_link);
+            node* bl = pool_->protect(p->back_link);
             if (bl == nullptr) break;
-            pool_->release(p);
+            pool_->drop(p);
             p = bl;
         }
         // s: current head of the auxiliary chain following p.
-        node* s = pool_->safe_read(p->next);
+        node* s = pool_->protect(p->next);
         // Advance n to the last auxiliary node of the chain (lines 13-16).
         for (;;) {
-            node* nn = pool_->safe_read(n->next);
+            node* nn = pool_->protect(n->next);
             if (nn->is_normal()) {
-                pool_->release(nn);
+                pool_->drop(nn);
                 break;
             }
-            pool_->release(n);
+            pool_->drop(n);
             n = nn;
         }
         // Lines 17-21: swing p->next across the chain. Give up if p gets
@@ -307,15 +332,15 @@ public:
         // either will finish the compaction (§3's progress argument).
         for (;;) {
             if (swing(p->next, s, n)) break;
-            pool_->release(s);
-            s = pool_->safe_read(p->next);
+            pool_->drop(s);
+            s = pool_->protect(p->next);
             if (p->is_deleted()) break;
             node* after = n->next.load(std::memory_order_acquire);
             if (after == nullptr || !after->is_normal()) break;  // chain grew
         }
-        pool_->release(p);
-        pool_->release(s);
-        pool_->release(n);
+        pool_->drop(p);
+        pool_->drop(s);
+        pool_->drop(n);
         return true;
     }
 
@@ -334,32 +359,35 @@ public:
         assert(start != nullptr);
         c.reset();
         c.list_ = this;
-        c.pre_cell_ = pool_->add_ref(start);
-        c.pre_aux_ = pool_->safe_read(start->next);
+        c.guard_ = pool_->make_guard();
+        c.pre_cell_ = pool_->copy(start);
+        c.pre_aux_ = pool_->protect(start->next);
         c.target_ = nullptr;
         update(c);
     }
 
     /// Lightweight read-only traversal: visits each cell's payload in
-    /// list order until `visit` returns false. Holds one counted
+    /// list order until `visit` returns false. Holds one traversal
     /// reference at a time (the minimum for safety) instead of a full
     /// cursor triple, making it ~2x cheaper per hop than cursor
-    /// iteration — use it for pure lookups; use cursors when the
-    /// position will be mutated. Fully concurrent-safe.
+    /// iteration under counting policies — and nearly free under epochs
+    /// — use it for pure lookups; use cursors when the position will be
+    /// mutated. Fully concurrent-safe.
     template <typename Visit>
     void scan(Visit&& visit) {
-        node* p = pool_->safe_read(head_->next);  // first aux: never null
+        guard g = pool_->make_guard();
+        node* p = pool_->protect(head_->next);  // first aux: never null
         for (;;) {
-            node* n = pool_->safe_read(p->next);
-            pool_->release(p);
+            node* n = pool_->protect(p->next);
+            pool_->drop(p);
             if (n == nullptr || n->is_tail()) {
-                pool_->release(n);
+                pool_->drop(n);
                 return;
             }
             if (n->is_cell()) {
                 instrument::tls().cells_traversed++;
                 if (!visit(static_cast<const T&>(n->value()))) {
-                    pool_->release(n);
+                    pool_->drop(n);
                     return;
                 }
             } else {
@@ -383,30 +411,46 @@ public:
 
 private:
     /// The counted-link CAS: swing `loc` from `expected` to `desired`,
-    /// transferring reference counts as described in node_pool.hpp.
+    /// transferring reference counts as described in node_pool.hpp. Fails
+    /// without attempting the CAS if `desired` has already been retired
+    /// (deferred policies): a claimed node must never be re-linked.
     bool swing(std::atomic<node*>& loc, node* expected, node* desired) {
         auto& ctr = instrument::tls();
         ctr.cas_attempts++;
-        pool_->add_ref(desired);  // the link's reference, speculative
+        if (!pool_->try_ref(desired)) {  // the link's reference, speculative
+            ctr.cas_failures++;
+            return false;
+        }
         testing_hooks::chaos_point();  // between speculation and CAS
         node* e = expected;
         if (loc.compare_exchange_strong(e, desired, std::memory_order_seq_cst,
                                         std::memory_order_acquire)) {
-            pool_->release(expected);  // the dying link's reference
+            pool_->unref(expected);  // the dying link's reference
             return true;
         }
         ctr.cas_failures++;
-        pool_->release(desired);  // undo speculation
+        pool_->unref(desired);  // undo speculation
         return false;
     }
 
     /// Counted store to a location the caller exclusively owns (a private
-    /// node's field, or a once-only field like back_link after winning the
-    /// unlink CAS).
+    /// node's field, or a once-only field like back_link after winning
+    /// the unlink CAS). The target must be provably live (an owned fresh
+    /// node, or a link-counted one).
     void store_link(std::atomic<node*>& loc, node* target) {
-        pool_->add_ref(target);
+        pool_->ref(target);
         node* old = loc.exchange(target, std::memory_order_acq_rel);
-        pool_->release(old);
+        pool_->unref(old);
+    }
+
+    /// As store_link, but the target may already be retired (a cursor's
+    /// traversal reference under a deferred policy): refuses — leaving
+    /// `loc` untouched — instead of resurrecting a claimed node.
+    bool store_link_checked(std::atomic<node*>& loc, node* target) {
+        if (!pool_->try_ref(target)) return false;
+        node* old = loc.exchange(target, std::memory_order_acq_rel);
+        pool_->unref(old);
+        return true;
     }
 
     std::unique_ptr<pool_type> owned_pool_;  // null when the pool is shared

@@ -7,6 +7,10 @@
 // same size"), and (b) algorithms can ask "is this a normal cell?" of an
 // arbitrary successor, which TryDelete and Update need. The payload is
 // raw storage that is only constructed for kind == cell.
+//
+// Reclamation state lives in the base class the MemoryPolicy provides
+// (policy.hpp); for every shipped policy that is counted_header, i.e. the
+// §5 refct word, so `node->refct` reads the same as in the paper.
 #pragma once
 
 #include <atomic>
@@ -14,7 +18,7 @@
 #include <new>
 #include <utility>
 
-#include "lfll/memory/ref_count.hpp"
+#include "lfll/memory/policy.hpp"
 #include "lfll/primitives/cacheline.hpp"
 
 namespace lfll {
@@ -26,9 +30,8 @@ enum class node_kind : std::uint8_t {
     tail = 3,   ///< the Last dummy cell
 };
 
-template <typename T>
-struct alignas(cacheline_size) list_node {
-    std::atomic<refct_t> refct{0};
+template <typename T, typename Policy = valois_refcount>
+struct alignas(cacheline_size) list_node : Policy::header {
     std::atomic<list_node*> next{nullptr};
     /// Set once (null -> predecessor cell) by the winning deleter of this
     /// cell (Fig. 10 line 6); non-null implies "deleted from the list".

@@ -32,15 +32,16 @@
 
 #include "lfll/core/node.hpp"
 #include "lfll/memory/node_pool.hpp"
+#include "lfll/memory/policy.hpp"
 #include "lfll/primitives/instrument.hpp"
 
 namespace lfll {
 
-template <typename Key, typename Compare = std::less<Key>>
+template <typename Key, typename Compare = std::less<Key>,
+          typename Policy = valois_refcount>
 class bst_set {
 public:
-    struct tree_node {
-        std::atomic<refct_t> refct{0};
+    struct tree_node : Policy::header {
         /// aux: the single child pointer. cell: the LEFT auxiliary node.
         /// (Doubles as the pool free-list link, like every pooled node.)
         std::atomic<tree_node*> next{nullptr};
@@ -74,7 +75,9 @@ public:
         }
     };
 
-    using pool_type = node_pool<tree_node>;
+    using policy_type = Policy;
+    using pool_type = node_pool<tree_node, Policy>;
+    using guard = typename pool_type::guard;
 
     explicit bst_set(std::size_t initial_capacity = 1024, Compare cmp = Compare{})
         : pool_(initial_capacity + 1), cmp_(cmp) {
@@ -88,6 +91,7 @@ public:
 
     /// Adds `key`; false if (a live instance of) the key already exists.
     bool insert(const Key& key) {
+        guard g = pool_.make_guard();
         for (;;) {
             tree_node* leaf = nullptr;
             tree_node* found = search(key, &leaf);
@@ -96,8 +100,8 @@ public:
                 bool was_dead = true;
                 const bool revived = found->dead.compare_exchange_strong(
                     was_dead, false, std::memory_order_seq_cst, std::memory_order_acquire);
-                pool_.release(found);
-                pool_.release(leaf);
+                pool_.drop(found);
+                pool_.drop(leaf);
                 return revived;
             }
             // Build the cell with both auxiliary children pre-attached
@@ -108,33 +112,35 @@ public:
             q->next.store(pool_.alloc(), std::memory_order_relaxed);
             q->right.store(pool_.alloc(), std::memory_order_relaxed);
             if (swing(leaf->next, nullptr, q)) {
-                pool_.release(leaf);
-                pool_.release(q);
+                pool_.drop(leaf);
+                pool_.unref(q);
                 return true;
             }
             instrument::tls().insert_retries++;
-            pool_.release(leaf);
-            pool_.release(q);  // cascade frees its two aux children
+            pool_.drop(leaf);
+            pool_.unref(q);  // cascade frees its two aux children
         }
     }
 
     /// Tombstone deletion: marks the cell dead. False if absent/already dead.
     bool erase(const Key& key) {
+        guard g = pool_.make_guard();
         tree_node* found = search(key, nullptr);
         if (found == nullptr) return false;
         bool was_live = false;
         const bool killed = found->dead.compare_exchange_strong(
             was_live, true, std::memory_order_seq_cst, std::memory_order_acquire);
-        pool_.release(found);
+        pool_.drop(found);
         if (!killed) instrument::tls().delete_retries++;
         return killed;
     }
 
     bool contains(const Key& key) {
+        guard g = pool_.make_guard();
         tree_node* found = search(key, nullptr);
         if (found == nullptr) return false;
         const bool live = !found->dead.load(std::memory_order_acquire);
-        pool_.release(found);
+        pool_.drop(found);
         return live;
     }
 
@@ -142,17 +148,18 @@ public:
     /// are safe; concurrent structural mutations in the affected subtree
     /// are not — see the header comment. Returns false if absent.
     bool erase_splice(const Key& key) {
+        guard g = pool_.make_guard();
         // Locate the victim, keeping the auxiliary node that points at it.
-        tree_node* parent_aux = pool_.add_ref(root_aux_);
+        tree_node* parent_aux = pool_.copy(root_aux_);
         tree_node* v = nullptr;
         for (;;) {
-            tree_node* n = pool_.safe_read(parent_aux->next);
+            tree_node* n = pool_.protect(parent_aux->next);
             if (n == nullptr) {
-                pool_.release(parent_aux);
+                pool_.drop(parent_aux);
                 return false;
             }
             if (n->is_aux()) {  // shunt chain from an earlier splice
-                pool_.release(parent_aux);
+                pool_.drop(parent_aux);
                 parent_aux = n;
                 continue;
             }
@@ -161,14 +168,14 @@ public:
                 break;
             }
             tree_node* child =
-                cmp_(key, n->key()) ? pool_.safe_read(n->next) : pool_.safe_read(n->right);
-            pool_.release(parent_aux);
-            pool_.release(n);
+                cmp_(key, n->key()) ? pool_.protect(n->next) : pool_.protect(n->right);
+            pool_.drop(parent_aux);
+            pool_.drop(n);
             parent_aux = child;
         }
 
-        tree_node* left_aux = pool_.safe_read(v->next);
-        tree_node* right_aux = pool_.safe_read(v->right);
+        tree_node* left_aux = pool_.protect(v->next);
+        tree_node* right_aux = pool_.protect(v->right);
         const bool left_empty = left_aux->next.load(std::memory_order_acquire) == nullptr;
         const bool right_empty = right_aux->next.load(std::memory_order_acquire) == nullptr;
 
@@ -179,14 +186,14 @@ public:
             tree_node* s_aux = find_leftmost_empty_aux(right_aux);
             if (!swing(s_aux->next, nullptr, left_aux)) {
                 // Someone attached a cell there first; retry from scratch.
-                pool_.release(s_aux);
-                pool_.release(left_aux);
-                pool_.release(right_aux);
-                pool_.release(parent_aux);
-                pool_.release(v);
+                pool_.drop(s_aux);
+                pool_.drop(left_aux);
+                pool_.drop(right_aux);
+                pool_.drop(parent_aux);
+                pool_.drop(v);
                 return erase_splice(key);
             }
-            pool_.release(s_aux);
+            pool_.drop(s_aux);
             // v's left branch is now duplicated below the successor; v
             // itself is removed via the right-subtree splice below.
         } else if (right_empty && !left_empty) {
@@ -234,53 +241,59 @@ public:
 private:
     bool equal(const Key& a, const Key& b) const { return !cmp_(a, b) && !cmp_(b, a); }
 
-    /// Counted-link CAS, as in valois_list.
+    /// Counted-link CAS, as in valois_list: fails without attempting the
+    /// CAS if `desired` has already been retired (deferred policies).
     bool swing(std::atomic<tree_node*>& loc, tree_node* expected, tree_node* desired) {
         auto& ctr = instrument::tls();
         ctr.cas_attempts++;
-        pool_.add_ref(desired);
+        if (!pool_.try_ref(desired)) {
+            ctr.cas_failures++;
+            return false;
+        }
         tree_node* e = expected;
         if (loc.compare_exchange_strong(e, desired, std::memory_order_seq_cst,
                                         std::memory_order_acquire)) {
-            pool_.release(expected);
+            pool_.unref(expected);
             return true;
         }
         ctr.cas_failures++;
-        pool_.release(desired);
+        pool_.unref(desired);
         return false;
     }
 
     /// Returns the cell with `key` (counted ref; may be tombstoned), or
     /// null. When null and `out_leaf` is non-null, *out_leaf receives a
     /// counted ref on the empty auxiliary node where the key belongs.
+    /// The caller must hold a guard; the returned references are
+    /// traversal references valid under it (drop() them).
     tree_node* search(const Key& key, tree_node** out_leaf) {
         auto& ctr = instrument::tls();
-        tree_node* a = pool_.add_ref(root_aux_);
+        tree_node* a = pool_.copy(root_aux_);
         for (;;) {
-            tree_node* n = pool_.safe_read(a->next);
+            tree_node* n = pool_.protect(a->next);
             if (n == nullptr) {
                 if (out_leaf != nullptr) {
                     *out_leaf = a;
                 } else {
-                    pool_.release(a);
+                    pool_.drop(a);
                 }
                 return nullptr;
             }
             if (n->is_aux()) {  // splice shunt chain: follow it
                 ctr.aux_hops++;
-                pool_.release(a);
+                pool_.drop(a);
                 a = n;
                 continue;
             }
             ctr.cells_traversed++;
             if (equal(n->key(), key)) {
-                pool_.release(a);
+                pool_.drop(a);
                 return n;
             }
             tree_node* child =
-                cmp_(key, n->key()) ? pool_.safe_read(n->next) : pool_.safe_read(n->right);
-            pool_.release(a);
-            pool_.release(n);
+                cmp_(key, n->key()) ? pool_.protect(n->next) : pool_.protect(n->right);
+            pool_.drop(a);
+            pool_.drop(n);
             a = child;
         }
     }
@@ -288,16 +301,16 @@ private:
     /// Leftmost empty auxiliary node under `from` (an aux). Returns a
     /// counted reference; releases nothing else it was given.
     tree_node* find_leftmost_empty_aux(tree_node* from) {
-        tree_node* a = pool_.add_ref(from);
+        tree_node* a = pool_.copy(from);
         for (;;) {
-            tree_node* n = pool_.safe_read(a->next);
+            tree_node* n = pool_.protect(a->next);
             if (n == nullptr) return a;
-            pool_.release(a);
+            pool_.drop(a);
             if (n->is_aux()) {
                 a = n;
             } else {
-                a = pool_.safe_read(n->next);  // descend left
-                pool_.release(n);
+                a = pool_.protect(n->next);  // descend left
+                pool_.drop(n);
             }
         }
     }
@@ -319,10 +332,10 @@ private:
 
     void cleanup(tree_node* parent_aux, tree_node* v, tree_node* left_aux,
                  tree_node* right_aux) {
-        pool_.release(parent_aux);
-        pool_.release(v);
-        pool_.release(left_aux);
-        pool_.release(right_aux);
+        pool_.drop(parent_aux);
+        pool_.drop(v);
+        pool_.drop(left_aux);
+        pool_.drop(right_aux);
     }
 
     template <typename F>

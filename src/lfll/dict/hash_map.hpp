@@ -22,10 +22,11 @@
 namespace lfll {
 
 template <typename Key, typename Value, typename Hash = std::hash<Key>,
-          typename Compare = std::less<Key>>
+          typename Compare = std::less<Key>, typename Policy = valois_refcount>
 class hash_map {
 public:
-    using bucket_type = sorted_list_map<Key, Value, Compare>;
+    using policy_type = Policy;
+    using bucket_type = sorted_list_map<Key, Value, Compare, Policy>;
 
     /// `buckets` is rounded up to a power of two. `capacity_hint` sizes
     /// the per-bucket node pools (expected elements / buckets).

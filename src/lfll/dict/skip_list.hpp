@@ -29,12 +29,14 @@
 
 namespace lfll {
 
-template <typename Key, typename Value, typename Compare = std::less<Key>>
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          typename Policy = valois_refcount>
 class skip_list_map {
 public:
     struct entry;
-    using list_type = valois_list<entry>;
-    using node = list_node<entry>;
+    using policy_type = Policy;
+    using list_type = valois_list<entry, Policy>;
+    using node = list_node<entry, Policy>;
     using cursor = typename list_type::cursor;
 
     struct entry {
@@ -157,7 +159,7 @@ public:
 
     int max_level() const noexcept { return max_level_; }
     list_type& level(int i) noexcept { return *levels_[i]; }
-    node_pool<node>& pool() noexcept { return pool_; }
+    node_pool<node, Policy>& pool() noexcept { return pool_; }
 
 private:
     /// Walks level `lvl` from cursor c's current position until the target
@@ -190,12 +192,21 @@ private:
             }
             while (!c.at_end() && cmp_((*c).key, key)) levels_[i]->next(c);
             node* pred = c.pre_cell();
-            if (preds != nullptr) (*preds)[i] = pool_.add_ref(pred);
+            // The cursor's traversal reference on pred may be a raw
+            // pointer under a pin (epoch policy); keeping pred beyond
+            // this level's cursor needs a count, and the count must not
+            // resurrect a node already retired — hence try_ref, with a
+            // null hint (searchers fall back to the level head) when it
+            // refuses.
+            if (preds != nullptr) (*preds)[i] = pool_.try_ref(pred) ? pred : nullptr;
             node* next_start = nullptr;
             if (i > 0 && pred->is_cell()) {
-                // pred is pinned by the cursor; its counted down link pins
-                // the node below, so a plain add_ref is safe.
-                next_start = pool_.add_ref(pred->value().down);
+                // pred's counted down link keeps the node below at count
+                // >= 1 until pred is reclaimed, which the cursor's
+                // reference (or pin) forbids — but pred itself may just
+                // have been retired, so check the claim all the same.
+                node* down = pred->value().down;
+                next_start = pool_.try_ref(down) ? down : nullptr;
             }
             pool_.release(start);
             start = next_start;
@@ -225,7 +236,7 @@ private:
                 return false;
             }
             if (q == nullptr) {
-                q = levels_[lvl]->make_cell(entry{key, std::nullopt, pool_.add_ref(below)});
+                q = levels_[lvl]->make_cell(entry{key, std::nullopt, pool_.ref(below)});
                 a = levels_[lvl]->make_aux();
             }
             if (levels_[lvl]->try_insert(c, q, a)) break;
@@ -265,7 +276,7 @@ private:
         return h;
     }
 
-    node_pool<node> pool_;  // declared before levels_: destroyed after them
+    node_pool<node, Policy> pool_;  // declared before levels_: destroyed after them
     std::vector<std::unique_ptr<list_type>> levels_;
     int max_level_;
     Compare cmp_;

@@ -19,11 +19,13 @@
 
 namespace lfll {
 
-template <typename Key, typename Value, typename Compare = std::less<Key>>
+template <typename Key, typename Value, typename Compare = std::less<Key>,
+          typename Policy = valois_refcount>
 class sorted_list_map {
 public:
+    using policy_type = Policy;
     using value_type = std::pair<const Key, Value>;
-    using list_type = valois_list<value_type>;
+    using list_type = valois_list<value_type, Policy>;
     using cursor = typename list_type::cursor;
 
     explicit sorted_list_map(std::size_t initial_capacity = 1024, Compare cmp = Compare{})

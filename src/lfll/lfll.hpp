@@ -13,7 +13,10 @@
 #include "lfll/core/node.hpp"
 #include "lfll/memory/buddy_allocator.hpp"
 #include "lfll/memory/node_pool.hpp"
+#include "lfll/memory/policy.hpp"
 #include "lfll/memory/ref_count.hpp"
+#include "lfll/reclaim/epoch_policy.hpp"
+#include "lfll/reclaim/hazard_policy.hpp"
 
 // Dictionaries (§4) and building-block adapters (§1, [27]).
 #include "lfll/adapters/priority_queue.hpp"

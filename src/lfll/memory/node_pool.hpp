@@ -1,16 +1,31 @@
 // Typed node pool: slab arena + the paper's lock-free LIFO free list
-// (Alloc / Reclaim, Figs. 17-18) + SafeRead / Release (Figs. 15-16, with
-// the Michael & Scott correction — see ref_count.hpp).
+// (Alloc / Reclaim, Figs. 17-18), parameterized over a MemoryPolicy that
+// decides how traversals protect nodes and when a dead node may be
+// recycled (policy.hpp). The default policy is the paper's own §5
+// SafeRead / Release reference counting (Figs. 15-16, with the Michael &
+// Scott correction — see ref_count.hpp).
 //
-// Ownership discipline ("counted links"):
+// Ownership discipline ("counted links") — policy-independent:
 //  * Every pointer stored in shared memory (a node's next/back_link, the
 //    free-list head) holds ONE counted reference on its target.
-//  * Every private pointer a thread obtained via alloc(), safe_read() or
-//    add_ref() holds ONE counted reference, dropped with release().
+//  * alloc() hands the caller ONE counted reference, dropped with
+//    unref(). Long-held private pointers (skip-list predecessor hints)
+//    also hold counted references (ref()/try_ref()/unref()).
 //  * A CAS that swings a shared pointer from `old` to `new` must
-//    add_ref(new) BEFORE the CAS; on success the caller must release(old)
-//    (the dying link's reference); on failure it must release(new) (the
+//    try_ref(new) BEFORE the CAS; on success the caller must unref(old)
+//    (the dying link's reference); on failure it must unref(new) (the
 //    speculative reference). valois_list encapsulates this in one helper.
+//  * Traversal references are policy-shaped: protect() acquires one from
+//    a shared location, copy() duplicates one, drop() releases one. For
+//    counting policies these hit the count word; under epochs they are
+//    free and the pointer is valid only while the guard's pin is held.
+//
+// When the count reaches zero and the claim bit is won, the node is
+// retire-eligible. Immediate policies (valois_refcount) cascade the
+// reclamation on the spot; deferred policies (hazard, epoch) bank the
+// node with their domain and the pool's reclaim callback runs after the
+// grace period, dropping the node's outgoing links (which may take
+// further counts to zero) and pushing it back on the free list.
 //
 // Slabs are never returned to the OS while the pool lives; this is the
 // precondition for SafeRead's transient increment on a recycled node being
@@ -19,7 +34,7 @@
 //
 // Node requirements (duck-typed; valois_list::node and the baselines'
 // nodes satisfy them):
-//    std::atomic<refct_t> refct;
+//    derives from Policy::header (provides std::atomic<refct_t> refct)
 //    std::atomic<Node*>   next;     // reused as the free-list link
 //    void drop_links(Sink&& drop);  // pass each *counted* outgoing link
 //                                   //   target (may be null) to drop()
@@ -33,6 +48,7 @@
 #include <mutex>
 #include <vector>
 
+#include "lfll/memory/policy.hpp"
 #include "lfll/memory/ref_count.hpp"
 #include "lfll/primitives/cacheline.hpp"
 #include "lfll/primitives/instrument.hpp"
@@ -40,9 +56,16 @@
 
 namespace lfll {
 
-template <typename Node>
+template <typename Node, typename Policy = valois_refcount>
 class node_pool {
+    static_assert(memory_policy_for<Policy, Node>,
+                  "Policy does not satisfy the MemoryPolicy concept for this Node");
+
 public:
+    using policy_type = Policy;
+    using domain_type = typename Policy::domain;
+    using guard = policy_guard<Policy>;
+
     /// Creates a pool with `initial_capacity` pre-allocated nodes. The pool
     /// grows by doubling slabs when exhausted (growth takes a mutex; the
     /// alloc fast path is lock-free).
@@ -50,18 +73,43 @@ public:
         grow(initial_capacity == 0 ? 1 : initial_capacity);
     }
 
-    ~node_pool() = default;
+    /// Flushes anything the policy still has banked back onto the free
+    /// list (the reclaim callback touches pool internals, so this must
+    /// complete before members die; domain_ is declared last and thus
+    /// destroyed first as a backstop).
+    ~node_pool() {
+        drain_retired();
+        assert(domain_.retired_count() == 0 &&
+               "node_pool destroyed with nodes still protected");
+    }
 
     node_pool(const node_pool&) = delete;
     node_pool& operator=(const node_pool&) = delete;
 
-    /// Paper Fig. 17 (Alloc). Returns a node holding one private reference
-    /// owned by the caller; `next` is null. Never returns nullptr (grows).
+    domain_type& domain() noexcept { return domain_; }
+
+    /// Read-side critical section covering this pool's nodes. Cursors
+    /// carry one internally; loose traversals (scan, adapters) open one
+    /// per operation.
+    guard make_guard() { return guard(domain_); }
+
+    /// Paper Fig. 17 (Alloc). Returns a node holding one private counted
+    /// reference owned by the caller (under every policy); `next` is
+    /// null. Never returns nullptr (grows).
     Node* alloc() {
         instrument::tls().nodes_allocated++;
         for (;;) {
-            Node* q = safe_read(free_head_);
+            Node* q = free_list_read(free_head_);
             if (q == nullptr) {
+                // Reclaim pressure before growing: a deferred policy may
+                // have a long retire cascade banked (e.g. the queue's
+                // dummy chain, which frees strictly one node per pass).
+                if constexpr (Policy::deferred) {
+                    if (domain_.retired_count() > 0) {
+                        drain_retired();
+                        if (free_head_.load(std::memory_order_acquire) != nullptr) continue;
+                    }
+                }
                 grow(capacity_.load(std::memory_order_relaxed));
                 continue;
             }
@@ -71,7 +119,7 @@ public:
                                                    std::memory_order_acq_rel,
                                                    std::memory_order_acquire)) {
                 // The free-list's reference to q died with the pop; our
-                // safe_read reference keeps the count >= 1, so a plain
+                // transient reference keeps the count >= 1, so a plain
                 // decrement (no reclaim check) is sound.
                 q->refct.fetch_sub(refct_one, std::memory_order_acq_rel);
                 q->next.store(nullptr, std::memory_order_relaxed);
@@ -79,22 +127,156 @@ public:
                 return q;
             }
             // CAS failed: q is no longer (or was never still) the head.
-            release(q);
+            unref(q);
         }
     }
 
-    /// Adds a reference to a node the caller already protects (holds a
-    /// counted reference to, directly or through a live cursor).
-    Node* add_ref(Node* p) noexcept {
+    // --- counted references (policy-independent) --------------------------
+
+    /// Adds a counted reference to a node the caller already protects
+    /// (holds a counted reference to, directly or through a guard while
+    /// the target is provably unretired — e.g. via a live counted link).
+    Node* ref(Node* p) noexcept {
         if (p != nullptr) refct_acquire(p->refct);
         return p;
     }
 
-    /// Paper Fig. 15 (SafeRead): atomically read a shared pointer and
-    /// acquire a reference on the target, revalidating that the location
-    /// still points at it (otherwise the increment may be on a node that
-    /// was concurrently unlinked/recycled and must be undone).
-    Node* safe_read(const std::atomic<Node*>& location) noexcept {
+    /// Adds a counted reference unless the node has already been retired
+    /// (claim bit set) — a claimed node must never be re-linked or given
+    /// new references, it belongs to the reclaimer. Returns false (count
+    /// restored) in that case. Needed whenever the source pointer is a
+    /// policy-shaped traversal reference that does not itself hold a
+    /// count (epoch guards), harmless elsewhere. try_ref(nullptr) is
+    /// vacuously true.
+    bool try_ref(Node* p) noexcept {
+        if (p == nullptr) return true;
+        const refct_t old = p->refct.fetch_add(refct_one, std::memory_order_acq_rel);
+        if (refct_claimed(old)) {
+            p->refct.fetch_sub(refct_one, std::memory_order_acq_rel);
+            return false;
+        }
+        return true;
+    }
+
+    /// Paper Fig. 16 (Release), M&S-corrected. Drops one counted
+    /// reference; if the count reaches zero and this caller wins the
+    /// claim, the node is retired through the policy: immediately
+    /// cascaded back to the free list (valois_refcount) or banked until
+    /// the domain's grace period passes (hazard/epoch), after which the
+    /// reclaim callback drops its links and recycles it.
+    void unref(Node* p) noexcept {
+        if (p == nullptr) return;
+        if constexpr (Policy::deferred) {
+            testing_hooks::chaos_point();  // before the decrement
+            if (refct_release(p->refct)) {
+                Policy::retire(domain_, p, &node_pool::reclaim_cb, this);
+            }
+        } else {
+            release_cascade(p);
+        }
+    }
+
+    // --- traversal references (policy-shaped) -----------------------------
+
+    /// Acquires a traversal reference from a shared location (the
+    /// SafeRead seat). For counting policies this lands a count the
+    /// caller must drop(); under epochs it is a plain load valid only
+    /// while the caller's guard is engaged.
+    Node* protect(const std::atomic<Node*>& location) noexcept {
+        return Policy::template protect<Node>(domain_, location, &node_pool::unref_cb, this);
+    }
+
+    /// Duplicates a traversal reference the caller already holds.
+    Node* copy(Node* p) noexcept {
+        if constexpr (policy_counts_traversal) {
+            return ref(p);
+        } else {
+            return p;
+        }
+    }
+
+    /// Drops a traversal reference.
+    void drop(Node* p) noexcept {
+        if constexpr (policy_counts_traversal) {
+            unref(p);
+        } else {
+            (void)p;
+        }
+    }
+
+    // --- legacy names (paper vocabulary; §5-faithful under the default
+    // policy, where every reference is a counted reference) -----------------
+
+    Node* add_ref(Node* p) noexcept { return ref(p); }
+    Node* safe_read(const std::atomic<Node*>& location) noexcept { return protect(location); }
+    void release(Node* p) noexcept { unref(p); }
+
+    // --- introspection ----------------------------------------------------
+
+    /// Number of nodes the pool has ever handed slabs for.
+    std::size_t capacity() const noexcept { return capacity_.load(std::memory_order_relaxed); }
+
+    /// Approximate free-list length (exact when quiescent).
+    std::size_t free_count() const noexcept { return free_count_.load(std::memory_order_relaxed); }
+
+    /// Nodes currently outside the free list (exact when quiescent).
+    std::size_t live_count() const noexcept { return capacity() - free_count(); }
+
+    /// Nodes retired but awaiting the policy's grace period (0 for the
+    /// immediate default policy).
+    std::size_t retired_count() const noexcept { return domain_.retired_count(); }
+
+    /// Quiescent flush of the policy's banked nodes back to the free list.
+    /// Runs the policy's collection until it stops making progress.
+    /// Cascaded retires (reclaiming a node drops its links, which can
+    /// retire further nodes) are chased to exhaustion; nodes still
+    /// protected by concurrent guards survive and end the loop.
+    void drain_retired() {
+        if constexpr (Policy::deferred) {
+            std::size_t prev = domain_.retired_count();
+            while (prev > 0) {
+                domain_.drain();
+                const std::size_t now = domain_.retired_count();
+                if (now >= prev) break;
+                prev = now;
+            }
+        }
+    }
+
+    /// Visits every slab slot. Only meaningful while no other thread is
+    /// mutating; used by the test-suite audits.
+    template <typename F>
+    void for_each_node(F&& f) const {
+        std::lock_guard lk(grow_mu_);
+        for (const auto& slab : slabs_) {
+            for (std::size_t i = 0; i < slab.count; ++i) f(&slab.nodes[i]);
+        }
+    }
+
+    /// Walks the free list. Only meaningful while no other thread is
+    /// mutating; used by the test-suite audits.
+    template <typename F>
+    void for_each_free(F&& f) const {
+        for (const Node* p = free_head_.load(std::memory_order_acquire); p != nullptr;
+             p = p->next.load(std::memory_order_acquire)) {
+            f(p);
+        }
+    }
+
+private:
+    static constexpr bool policy_counts_traversal = Policy::counted_traversal;
+
+    struct slab {
+        std::unique_ptr<Node[]> nodes;
+        std::size_t count;
+    };
+
+    /// Raw counted read of the free-list head. Policy-independent on
+    /// purpose: free-list nodes never leave the slab arena, so the blind
+    /// increment + revalidate protocol is safe here under every policy
+    /// (a stale increment on a re-allocated or claimed node is undone by
+    /// the matching unref, which cannot mis-claim — see ref_count.hpp).
+    Node* free_list_read(const std::atomic<Node*>& location) noexcept {
         auto& ctr = instrument::tls();
         ctr.safe_reads++;
         for (;;) {
@@ -105,19 +287,14 @@ public:
             testing_hooks::chaos_point();  // between increment and revalidation
             if (location.load(std::memory_order_acquire) == q) return q;
             ctr.saferead_retries++;
-            release(q);
+            unref(q);
         }
     }
 
-    /// Paper Fig. 16 (Release), M&S-corrected, iterative. Drops one
-    /// reference; if the count reaches zero and this caller wins the
-    /// claim, the node's outgoing links are dropped (which may cascade
-    /// down chains of dead cells) and the node returns to the free list.
-    void release(Node* p) noexcept {
-        if (p == nullptr) return;
-        // Iterative cascade: reclaiming a node releases its link targets,
-        // which may themselves die. A chain of deleted cells can be long,
-        // so recursion is not acceptable here.
+    /// Immediate-reclaim path: iterative cascade. Reclaiming a node
+    /// releases its link targets, which may themselves die; a chain of
+    /// deleted cells can be long, so recursion is not acceptable here.
+    void release_cascade(Node* p) noexcept {
         Node* inline_stack[32];
         std::size_t top = 0;
         std::vector<Node*> overflow;
@@ -148,40 +325,23 @@ public:
         }
     }
 
-    /// Number of nodes the pool has ever handed slabs for.
-    std::size_t capacity() const noexcept { return capacity_.load(std::memory_order_relaxed); }
-
-    /// Approximate free-list length (exact when quiescent).
-    std::size_t free_count() const noexcept { return free_count_.load(std::memory_order_relaxed); }
-
-    /// Nodes currently outside the free list (exact when quiescent).
-    std::size_t live_count() const noexcept { return capacity() - free_count(); }
-
-    /// Visits every slab slot. Only meaningful while no other thread is
-    /// mutating; used by the test-suite audits.
-    template <typename F>
-    void for_each_node(F&& f) const {
-        std::lock_guard lk(grow_mu_);
-        for (const auto& slab : slabs_) {
-            for (std::size_t i = 0; i < slab.count; ++i) f(&slab.nodes[i]);
-        }
+    /// Runs when a deferred policy's grace period expires: drop the dead
+    /// node's outgoing links (nested unrefs only *bank* further retires,
+    /// so recursion is bounded), destroy the payload, recycle. Also the
+    /// immediate path for valois_refcount::retire when protect's undo
+    /// cascades (release_cascade handles the worklist there).
+    static void reclaim_cb(void* self, void* node) {
+        auto* pool = static_cast<node_pool*>(self);
+        Node* q = static_cast<Node*>(node);
+        q->drop_links([pool](Node* t) { pool->unref(t); });
+        q->on_reclaim();
+        pool->reclaim(q);
     }
 
-    /// Walks the free list. Only meaningful while no other thread is
-    /// mutating; used by the test-suite audits.
-    template <typename F>
-    void for_each_free(F&& f) const {
-        for (const Node* p = free_head_.load(std::memory_order_acquire); p != nullptr;
-             p = p->next.load(std::memory_order_acquire)) {
-            f(p);
-        }
+    /// protect()'s undo callback: a full unref (may cascade).
+    static void unref_cb(void* self, void* node) {
+        static_cast<node_pool*>(self)->unref(static_cast<Node*>(node));
     }
-
-private:
-    struct slab {
-        std::unique_ptr<Node[]> nodes;
-        std::size_t count;
-    };
 
     /// Paper Fig. 18 (Reclaim): push a claimed node (refct == claim) back
     /// onto the free list. The claim->on-list transition is a fetch_add so
@@ -232,6 +392,7 @@ private:
     alignas(cacheline_size) std::atomic<std::size_t> free_count_{0};
     mutable std::mutex grow_mu_;
     std::vector<slab> slabs_;
+    domain_type domain_;  // last member: destroyed first, after ~node_pool's drain
 };
 
 }  // namespace lfll

@@ -7,62 +7,99 @@ namespace lfll {
 epoch_domain::epoch_domain(int max_threads, std::size_t advance_threshold)
     : ctxs_(static_cast<std::size_t>(max_threads)), advance_threshold_(advance_threshold) {
     for (int c = static_cast<int>(ctxs_.size()) - 1; c >= 0; --c) {
-        ctxs_[c].next_free.store(free_head_.load(std::memory_order_relaxed),
+        ctxs_[c].next_free.store(head_index(free_head_.load(std::memory_order_relaxed)),
                                  std::memory_order_relaxed);
-        free_head_.store(c, std::memory_order_relaxed);
+        free_head_.store(pack_head(c, 0), std::memory_order_relaxed);
     }
 }
 
 epoch_domain::~epoch_domain() {
-    for (auto& ctx : ctxs_) {
-        for (auto& bucket : ctx.buckets) {
-            for (auto& r : bucket) r.deleter(r.ptr);
-            bucket.clear();
+    // Callbacks may cascade-retire into (other) buckets while we sweep;
+    // loop until every bucket stays empty. Single-threaded by contract.
+    for (;;) {
+        bool any = false;
+        for (auto& ctx : ctxs_) {
+            for (auto& bucket : ctx.buckets) {
+                if (bucket.empty()) continue;
+                any = true;
+                std::vector<retired_node> work;
+                work.swap(bucket);
+                retired_total_.fetch_sub(work.size(), std::memory_order_relaxed);
+                for (auto& r : work) invoke(r);
+            }
         }
+        if (!any) break;
     }
 }
 
 int epoch_domain::acquire_ctx() {
     for (;;) {
-        int head = free_head_.load(std::memory_order_acquire);
-        assert(head >= 0 && "epoch_domain: more concurrent pins than max_threads");
-        const int next = ctxs_[head].next_free.load(std::memory_order_acquire);
-        if (free_head_.compare_exchange_weak(head, next, std::memory_order_acq_rel,
+        std::uint64_t head = free_head_.load(std::memory_order_acquire);
+        const std::int32_t idx = head_index(head);
+        assert(idx >= 0 && "epoch_domain: more concurrent pins than max_threads");
+        const std::int32_t next =
+            ctxs_[static_cast<std::size_t>(idx)].next_free.load(std::memory_order_acquire);
+        if (free_head_.compare_exchange_weak(head, pack_head(next, head_tag(head) + 1),
+                                             std::memory_order_acq_rel,
                                              std::memory_order_acquire)) {
-            return head;
+            return idx;
         }
     }
 }
 
 void epoch_domain::release_ctx(int c) {
-    int head = free_head_.load(std::memory_order_acquire);
+    std::uint64_t head = free_head_.load(std::memory_order_acquire);
     do {
-        ctxs_[c].next_free.store(head, std::memory_order_release);
-    } while (!free_head_.compare_exchange_weak(head, c, std::memory_order_acq_rel,
+        ctxs_[static_cast<std::size_t>(c)].next_free.store(head_index(head),
+                                                           std::memory_order_release);
+    } while (!free_head_.compare_exchange_weak(head, pack_head(c, head_tag(head) + 1),
+                                               std::memory_order_acq_rel,
                                                std::memory_order_acquire));
 }
 
-epoch_domain::pin::pin(epoch_domain& d) : dom_(d), ctx_(d.acquire_ctx()) {
-    epoch_ = dom_.global_epoch_.load(std::memory_order_acquire);
+int epoch_domain::client_enter() {
+    const int c = acquire_ctx();
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     // seq_cst: the activity announcement must be visible to any advancer
     // before we read shared pointers.
-    dom_.ctxs_[ctx_].state.store(2 * epoch_ + 1, std::memory_order_seq_cst);
+    ctxs_[c].state.store(2 * e + 1, std::memory_order_seq_cst);
+    return c;
 }
 
-epoch_domain::pin::~pin() {
-    dom_.ctxs_[ctx_].state.store(0, std::memory_order_release);
-    dom_.release_ctx(ctx_);
+void epoch_domain::client_exit(int c) {
+    ctxs_[c].state.store(0, std::memory_order_release);
+    release_ctx(c);
 }
+
+epoch_domain::pin::pin(epoch_domain& d) : dom_(d), ctx_(d.client_enter()) {}
+
+epoch_domain::pin::~pin() { dom_.client_exit(ctx_); }
 
 void epoch_domain::pin::retire(void* p, void (*deleter)(void*)) {
-    auto& bucket = dom_.ctxs_[ctx_].buckets[epoch_ % kBuckets];
-    bucket.push_back({p, deleter});
-    const std::size_t total = dom_.retired_total_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (total >= dom_.advance_threshold_) dom_.try_advance();
+    dom_.retire_at(ctx_, {p, deleter, nullptr, nullptr});
 }
 
-void epoch_domain::try_advance() {
-    if (advancing_.test_and_set(std::memory_order_acquire)) return;  // someone else is at it
+void epoch_domain::client_retire(int ctx, void* p, void (*fn)(void*, void*), void* ctx_ptr) {
+    retire_at(ctx, {p, nullptr, fn, ctx_ptr});
+}
+
+void epoch_domain::retire_at(int ctx, retired_node r) {
+    // Bank by the CURRENT global epoch, loaded after the retiring unlink
+    // (same thread, program order). Any pin that can still reach the node
+    // observed the link before the unlink, so its pinned epoch is <= e;
+    // bucket e is freed only at the advance from e+1 to e+2, which
+    // requires every such pin to have died. Note the caller's own active
+    // ctx bounds the advance: with a pin at epoch ep the global can reach
+    // at most ep+1, so the bucket we push into here can never be the one
+    // concurrently being freed.
+    const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+    ctxs_[ctx].buckets[e % kBuckets].push_back(r);
+    const std::size_t total = retired_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (total >= advance_threshold_) try_advance();
+}
+
+std::size_t epoch_domain::try_advance() {
+    if (advancing_.test_and_set(std::memory_order_acquire)) return 0;  // someone else is at it
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     bool all_current = true;
     for (const auto& ctx : ctxs_) {
@@ -72,27 +109,46 @@ void epoch_domain::try_advance() {
             break;
         }
     }
+    std::size_t freed = 0;
     if (all_current) {
         global_epoch_.store(e + 1, std::memory_order_seq_cst);
-        // Nodes retired in epoch e-1 are now unreachable by any pin: every
+        // Nodes banked in epoch e-1 are now unreachable by any pin: every
         // active thread was verified to be in e, and new pins start in e+1.
-        free_bucket((e - 1) % kBuckets);
+        freed = free_bucket((e - 1) % kBuckets);
     }
     advancing_.clear(std::memory_order_release);
+    return freed;
 }
 
-void epoch_domain::free_bucket(std::size_t idx) {
+std::size_t epoch_domain::free_bucket(std::size_t idx) {
+    // Callbacks may cascade-retire; those retires bank by the *new*
+    // current epoch (e or e+1 mod 3), never into the bucket being freed,
+    // and a nested try_advance bounces off the advancing_ latch.
+    std::size_t freed = 0;
     for (auto& ctx : ctxs_) {
         auto& bucket = ctx.buckets[idx];
         if (bucket.empty()) continue;
-        retired_total_.fetch_sub(bucket.size(), std::memory_order_relaxed);
-        for (auto& r : bucket) r.deleter(r.ptr);
-        bucket.clear();
+        std::vector<retired_node> work;
+        work.swap(bucket);
+        retired_total_.fetch_sub(work.size(), std::memory_order_relaxed);
+        freed += work.size();
+        for (auto& r : work) invoke(r);
     }
+    return freed;
 }
 
 void epoch_domain::drain() {
-    for (int i = 0; i < 2 * kBuckets; ++i) try_advance();
+    // Each full advance cycle frees every bucket once. Cascaded retires
+    // (a freed node's dropped links retiring its successors, as in the
+    // queue's dummy chain) land in the current bucket and need further
+    // cycles — and they keep retired_count() constant while real work
+    // happens, so progress is measured in nodes actually freed. Active
+    // pins make try_advance free nothing, ending the loop.
+    for (;;) {
+        std::size_t freed = 0;
+        for (int i = 0; i < 2 * kBuckets; ++i) freed += try_advance();
+        if (freed == 0 || retired_count() == 0) break;
+    }
 }
 
 }  // namespace lfll

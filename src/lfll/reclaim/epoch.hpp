@@ -1,13 +1,27 @@
 // Epoch-based reclamation (3-epoch EBR, Fraser-style).
 //
 // Second alternative reclaimer for the A2 ablation. Readers pin the
-// current global epoch; retired nodes are banked by retirement epoch and
-// freed two advances later, when no pinned thread can still reference
-// them. Reads are plain loads (no per-node traffic), which is exactly the
-// contrast with the paper's SafeRead that E7/A2 measure.
+// current global epoch; retired nodes are banked by the global epoch at
+// retirement time and freed two advances later, when no pinned thread can
+// still reference them. Reads are plain loads (no per-node traffic),
+// which is exactly the contrast with the paper's SafeRead that E7/A2
+// measure.
 //
-// The pin surface is duck-type-compatible with hazard_domain::pin so the
-// Harris-Michael list can be templated over the reclaimer.
+// Two client surfaces:
+//  * pin — RAII per-operation pin, duck-type-compatible with
+//    hazard_domain::pin so the Harris-Michael list can be templated over
+//    the reclaimer.
+//  * the ctx-level API (client_enter/client_exit/client_retire), used by
+//    epoch_policy to hold a pin across a whole operation via thread-local
+//    state and to retire with a (fn, ctx) pair that returns nodes to a
+//    node_pool.
+//
+// Banking by retire-time epoch (not the retirer's pin epoch) is what
+// makes the two-advance grace period sound: a reader that can still hold
+// the node observed the link before the unlink, hence pinned an epoch no
+// later than the one read here (the global epoch is monotone and the
+// retirer loads it after its unlink). Freeing the bucket requires two
+// advances, i.e. every such pin has died.
 #pragma once
 
 #include <atomic>
@@ -55,8 +69,20 @@ public:
     private:
         epoch_domain& dom_;
         int ctx_;
-        std::uint64_t epoch_;
     };
+
+    // --- ctx-level API (policy layer) -------------------------------------
+
+    /// Announces this thread active in the current epoch; returns the ctx
+    /// index for client_exit/client_retire. The caller must not block
+    /// between enter and exit (an active ctx stalls epoch advance).
+    int client_enter();
+    void client_exit(int ctx);
+
+    /// Retire under an active ctx: `fn(ctx_ptr, p)` runs once two epoch
+    /// advances have passed. May trigger an advance, which runs callbacks
+    /// for an entire expired bucket.
+    void client_retire(int ctx, void* p, void (*fn)(void*, void*), void* ctx_ptr);
 
     std::size_t retired_count() const noexcept {
         return retired_total_.load(std::memory_order_relaxed);
@@ -70,7 +96,9 @@ private:
 
     struct retired_node {
         void* ptr;
-        void (*deleter)(void*);
+        void (*deleter)(void*);     ///< one-arg form (pin::retire)
+        void (*fn)(void*, void*);   ///< two-arg form (client_retire); wins if set
+        void* ctx;
     };
 
     struct alignas(cacheline_size) thread_ctx {
@@ -80,13 +108,38 @@ private:
         std::atomic<int> next_free{-1};
     };
 
+    static void invoke(const retired_node& r) {
+        if (r.fn != nullptr)
+            r.fn(r.ctx, r.ptr);
+        else
+            r.deleter(r.ptr);
+    }
+
+    /// Ctx free-list head: {tag:32, index:32}; index -1 = empty. The tag
+    /// (bumped by every successful CAS) defeats free-list ABA: without it
+    /// a stalled pop can CAS a stale `next` in, handing one ctx to two
+    /// threads — whichever exits first silently un-pins the other, and a
+    /// double release can cycle the list.
+    static std::uint64_t pack_head(std::int32_t index, std::uint32_t tag) noexcept {
+        return (static_cast<std::uint64_t>(tag) << 32) | static_cast<std::uint32_t>(index);
+    }
+    static std::int32_t head_index(std::uint64_t w) noexcept {
+        return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
+    }
+    static std::uint32_t head_tag(std::uint64_t w) noexcept {
+        return static_cast<std::uint32_t>(w >> 32);
+    }
+
     int acquire_ctx();
     void release_ctx(int c);
-    void try_advance();
-    void free_bucket(std::size_t idx);
+    void retire_at(int ctx, retired_node r);
+    /// Returns the number of nodes reclaimed (0 when the advance lost
+    /// the latch, a pin lagged, or the freed bucket was empty).
+    std::size_t try_advance();
+    std::size_t free_bucket(std::size_t idx);
 
     std::vector<thread_ctx> ctxs_;
-    std::atomic<int> free_head_{-1};
+    std::atomic<std::uint64_t> free_head_{pack_head(-1, 0)};
     alignas(cacheline_size) std::atomic<std::uint64_t> global_epoch_{2};
     std::atomic_flag advancing_ = ATOMIC_FLAG_INIT;
     std::atomic<std::size_t> retired_total_{0};

@@ -6,6 +6,13 @@
 // Harris-Michael baseline list (S12) needs one of them. This is a compact,
 // fully functional domain: per-thread hazard slots, per-slot retired
 // lists, and an O(R log H) scan.
+//
+// Two client surfaces:
+//  * pin — RAII slot-group checkout with protect/retire, used by the
+//    Harris-Michael baseline (duck-type-compatible with epoch/leaky).
+//  * the group-level API (acquire_group/publish/clear_slot/retire_with),
+//    used by hazard_policy to hold a group across a whole operation and
+//    to retire with a (fn, ctx) pair that returns nodes to a node_pool.
 #pragma once
 
 #include <atomic>
@@ -81,6 +88,23 @@ public:
         int group_;
     };
 
+    // --- group-level API (policy layer) ----------------------------------
+
+    /// Claims / returns a slot group. A group's retired list stays with
+    /// the group; whoever claims it next inherits the backlog.
+    int acquire_group();
+    void release_group(int g);
+
+    /// Publish `p` in the group's hazard slot (seq_cst: must be ordered
+    /// before the caller's revalidation load and visible to any scan).
+    void publish(int group, int slot, void* p) noexcept;
+    void clear_slot(int group, int slot) noexcept;
+
+    /// Retire with a contextful callback: `fn(ctx, p)` runs once no
+    /// hazard slot protects p. May trigger a scan (which runs callbacks
+    /// for every unprotected retired node in the group).
+    void retire_with(int group, void* p, void (*fn)(void*, void*), void* ctx);
+
     /// Nodes retired but not yet freed (approximate; for tests/benches).
     std::size_t retired_count() const noexcept {
         return retired_total_.load(std::memory_order_relaxed);
@@ -92,21 +116,38 @@ public:
 private:
     struct retired_node {
         void* ptr;
-        void (*deleter)(void*);
+        void (*deleter)(void*);     ///< one-arg form (pin::retire)
+        void (*fn)(void*, void*);   ///< two-arg form (retire_with); wins if set
+        void* ctx;
     };
 
     struct alignas(cacheline_size) slot_group {
         std::atomic<void*> hp[slots_per_thread];
-        std::vector<retired_node> retired;  // owned by the pin holder
+        std::vector<retired_node> retired;  // owned by the group holder
+        bool scanning = false;              // owner-thread reentrancy latch
         std::atomic<int> next_free{-1};     // slot-group free list link
     };
 
-    int acquire_group();
-    void release_group(int g);
-    void scan(std::vector<retired_node>& retired);
+    /// Group free-list head: {tag:32, index:32}; index -1 = empty. The
+    /// tag (bumped by every successful CAS) defeats free-list ABA: a
+    /// stalled pop CASing a stale `next` in would hand one slot group to
+    /// two threads, letting either clear the other's live hazards.
+    static std::uint64_t pack_head(std::int32_t index, std::uint32_t tag) noexcept {
+        return (static_cast<std::uint64_t>(tag) << 32) | static_cast<std::uint32_t>(index);
+    }
+    static std::int32_t head_index(std::uint64_t w) noexcept {
+        return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
+    }
+    static std::uint32_t head_tag(std::uint64_t w) noexcept {
+        return static_cast<std::uint32_t>(w >> 32);
+    }
+
+    void retire_impl(int group, retired_node r);
+    /// Returns the number of nodes freed.
+    std::size_t scan(slot_group& g);
 
     std::vector<slot_group> groups_;
-    std::atomic<int> free_head_{-1};
+    std::atomic<std::uint64_t> free_head_{pack_head(-1, 0)};
     std::atomic<std::size_t> retired_total_{0};
     std::size_t scan_threshold_;
 };

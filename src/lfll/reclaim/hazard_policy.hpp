@@ -1,0 +1,125 @@
+// MemoryPolicy adapter over hazard_domain for the Valois stack.
+//
+// Hybrid scheme: shared links and long-held private pointers stay on the
+// per-node count word (so a counted link blocks retirement outright, and
+// cursors can hold arbitrarily many references without exhausting
+// hazard slots); the hazard slot covers only the transient window inside
+// protect() between reading a shared location and landing the count
+// increment. One slot per (thread, domain) suffices.
+//
+// protect soundness: after publishing q and revalidating that the
+// location still points at q, the location's counted link proves q's
+// count was nonzero at the revalidation instant, so q was not yet
+// retired — and it cannot be *reclaimed* before our slot is cleared,
+// because any scan that runs after the retirement collects hazards
+// after our seq_cst publish. q may still be retired (claim bit won)
+// between revalidation and our increment; the increment's returned old
+// value exposes that, and we undo and retry. Either way the fetch_add
+// lands on unreclaimed memory.
+//
+// retire: the count hit zero and the claim was won; the node is banked
+// with the domain's current slot group (a transient checkout when no
+// guard is active) and reclaimed by a scan once no slot protects it.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+
+#include "lfll/memory/policy.hpp"
+#include "lfll/reclaim/hazard_pointers.hpp"
+
+namespace lfll {
+
+struct hazard_policy {
+    using header = counted_header;
+    static constexpr bool deferred = true;
+    /// The hazard slot covers only protect's window; the reference it
+    /// hands back is a count, so cursors hold counted references.
+    static constexpr bool counted_traversal = true;
+    static constexpr const char* name = "hazard";
+
+    struct domain {
+        hazard_domain hd;
+        std::uint64_t id = next_policy_domain_id();
+
+        explicit domain(int max_threads = 128, std::size_t scan_threshold = 64)
+            : hd(max_threads, scan_threshold) {}
+
+        std::size_t retired_count() const noexcept { return hd.retired_count(); }
+        void drain() { hd.drain(); }
+    };
+
+    struct tl_state {
+        int group = -1;
+        int depth = 0;
+    };
+
+    /// Per-(thread, domain) record, keyed by the domain's unique id so a
+    /// record never aliases a dead domain. The single-entry cache makes
+    /// the common one-domain-per-benchmark case two loads and a compare.
+    static tl_state& tls(domain& d) {
+        thread_local std::unordered_map<std::uint64_t, tl_state> records;
+        thread_local std::uint64_t cached_id = 0;
+        thread_local tl_state* cached = nullptr;
+        if (cached_id == d.id) return *cached;
+        cached = &records[d.id];
+        cached_id = d.id;
+        return *cached;
+    }
+
+    static void enter(domain& d) {
+        tl_state& t = tls(d);
+        if (t.depth++ == 0) t.group = d.hd.acquire_group();
+    }
+
+    static void leave(domain& d) {
+        tl_state& t = tls(d);
+        assert(t.depth > 0 && "hazard_policy: leave without enter");
+        if (--t.depth == 0) {
+            d.hd.release_group(t.group);
+            t.group = -1;
+        }
+    }
+
+    static void retire(domain& d, void* p, reclaim_fn fn, void* ctx) {
+        enter(d);  // transient checkout when called outside a guard
+        d.hd.retire_with(tls(d).group, p, fn, ctx);
+        leave(d);
+    }
+
+    template <typename Node>
+    static Node* protect(domain& d, const std::atomic<Node*>& location, reclaim_fn,
+                         void*) noexcept {
+        auto& ctr = instrument::tls();
+        ctr.safe_reads++;
+        enter(d);
+        tl_state& t = tls(d);
+        Node* result = nullptr;
+        for (;;) {
+            Node* q = location.load(std::memory_order_acquire);
+            if (q == nullptr) break;
+            d.hd.publish(t.group, 0, q);
+            if (location.load(std::memory_order_seq_cst) != q) {
+                ctr.saferead_retries++;
+                continue;
+            }
+            const refct_t old = q->refct.fetch_add(refct_one, std::memory_order_acq_rel);
+            if (refct_claimed(old)) {
+                // Retired between revalidation and increment; the claim
+                // winner owns it. Undo (the slot still shields q from
+                // reclamation) and retry.
+                q->refct.fetch_sub(refct_one, std::memory_order_acq_rel);
+                ctr.saferead_retries++;
+                continue;
+            }
+            result = q;
+            break;
+        }
+        d.hd.clear_slot(t.group, 0);
+        leave(d);
+        return result;
+    }
+};
+
+}  // namespace lfll
