@@ -6,6 +6,8 @@
 // cell's measurement window; LFLL_BENCH_CSV switches output to CSV.
 #pragma once
 
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,8 +15,34 @@
 #include "lfll/harness/stats.hpp"
 #include "lfll/harness/table.hpp"
 #include "lfll/harness/workload.hpp"
+#include "lfll/telemetry/exporter.hpp"
+#include "lfll/telemetry/trace.hpp"
 
 namespace bench {
+
+/// Live-telemetry session for a bench main. Honours LFLL_TELEMETRY
+/// (prom:<path> / jsonl:<path>, see telemetry/exporter.hpp) — a no-op
+/// unless the variable is set — and, when the flight recorder is compiled
+/// in, dumps the trace window to LFLL_TRACE_OUT (default
+/// <bench>_trace.json) at scope exit.
+class telemetry_session {
+public:
+    explicit telemetry_session(std::string name)
+        : name_(std::move(name)), exporter_(lfll::telemetry::exporter_from_env()) {}
+
+    ~telemetry_session() {
+        if (exporter_ != nullptr) exporter_->stop();
+        if constexpr (lfll::telemetry::trace_enabled) {
+            const char* out = std::getenv("LFLL_TRACE_OUT");
+            const std::string path = out != nullptr ? out : name_ + "_trace.json";
+            lfll::telemetry::write_chrome_trace(path);
+        }
+    }
+
+private:
+    std::string name_;
+    std::unique_ptr<lfll::telemetry::periodic_exporter> exporter_;
+};
 
 using lfll::harness::bench_millis;
 using lfll::harness::dict_worker;

@@ -152,6 +152,7 @@ void run(int millis) {
 }  // namespace
 
 int main() {
+    bench::telemetry_session telemetry("bench_e1b_stalls");
     const int millis = bench_millis(200);
     run(millis);
     return 0;

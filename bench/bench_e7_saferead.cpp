@@ -29,6 +29,8 @@
 // protection is nearly free.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include "lfll/baseline/harris_michael_list.hpp"
 #include "lfll/core/list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
@@ -133,4 +135,13 @@ BENCHMARK(BM_PlainAcquireLoad);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled main (vs BENCHMARK_MAIN) so the run publishes live
+// telemetry like every other experiment binary.
+int main(int argc, char** argv) {
+    bench::telemetry_session telemetry("bench_e7_saferead");
+    ::benchmark::Initialize(&argc, argv);
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

@@ -114,6 +114,7 @@ void cap_sweep(int millis) {
 }  // namespace
 
 int main() {
+    bench::telemetry_session telemetry("bench_e8_backoff");
     const int millis = bench_millis(150);
     on_off(millis);
     cap_sweep(millis);

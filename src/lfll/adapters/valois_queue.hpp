@@ -55,6 +55,7 @@ public:
     valois_queue& operator=(const valois_queue&) = delete;
 
     void enqueue(T value) {
+        LFLL_TRACE_SPAN(telemetry::trace_op::enqueue, 0);
         node* q = pool_.alloc();
         q->construct_cell(std::move(value));
         guard g = pool_.make_guard();
@@ -101,6 +102,7 @@ public:
     }
 
     std::optional<T> dequeue() {
+        LFLL_TRACE_SPAN(telemetry::trace_op::dequeue, 0);
         guard g = pool_.make_guard();
         backoff bo;
         for (;;) {

@@ -16,6 +16,7 @@
 #include "lfll/core/list.hpp"
 #include "lfll/primitives/backoff.hpp"
 #include "lfll/primitives/instrument.hpp"
+#include "lfll/telemetry/trace.hpp"
 
 namespace lfll {
 
@@ -54,6 +55,7 @@ public:
     /// Fig. 12 (Insert): adds key -> value; returns false if the key is
     /// already present.
     bool insert(const Key& key, Value value) {
+        LFLL_TRACE_SPAN(telemetry::trace_op::insert, telemetry::key_hash(key));
         cursor c(list_);
         typename list_type::node* q = nullptr;
         typename list_type::node* a = nullptr;
@@ -82,6 +84,7 @@ public:
 
     /// Fig. 13 (Delete): removes the cell with `key`; false if absent.
     bool erase(const Key& key) {
+        LFLL_TRACE_SPAN(telemetry::trace_op::erase, telemetry::key_hash(key));
         cursor c(list_);
         backoff bo(backoff_cfg_);
         for (;;) {
@@ -98,6 +101,7 @@ public:
     /// light scan (one reference at a time) rather than a full cursor:
     /// lookups never mutate, so the cursor triple would be wasted RMWs.
     std::optional<Value> find(const Key& key) {
+        LFLL_TRACE_SPAN(telemetry::trace_op::find, telemetry::key_hash(key));
         std::optional<Value> out;
         list_.scan([&](const value_type& v) {
             if (cmp_(v.first, key)) return true;                      // keep walking

@@ -4,6 +4,13 @@
 // the recorder samples every 2^k-th op and merges thread-local buffers
 // under a mutex at the end of the run, so the fast path is one branch +
 // counter increment on non-sampled ops.
+//
+// The sink holds a bounded reservoir (Vitter's Algorithm R): once
+// `reservoir_cap` samples are retained, each further sample replaces a
+// uniformly random slot with probability cap/seen, so the reservoir stays
+// a uniform subsample of everything observed and an hours-long soak run
+// no longer grows memory linearly. summarize_ns() reports the retained
+// fraction alongside the order statistics (summary::fraction).
 #pragma once
 
 #include <chrono>
@@ -12,30 +19,64 @@
 #include <vector>
 
 #include "lfll/harness/stats.hpp"
+#include "lfll/primitives/rng.hpp"
 
 namespace lfll::harness {
 
 /// Shared sink; one per benchmark cell.
 class latency_sink {
 public:
+    /// ~2 MB of doubles; plenty for p99 at bench scale.
+    static constexpr std::size_t default_reservoir_cap = std::size_t{1} << 18;
+
+    explicit latency_sink(std::size_t reservoir_cap = default_reservoir_cap)
+        : cap_(reservoir_cap == 0 ? 1 : reservoir_cap), rng_(0x9e3779b97f4a7c15ULL) {}
+
     void merge(std::vector<double>&& samples) {
         std::lock_guard lk(mu_);
-        all_.insert(all_.end(), samples.begin(), samples.end());
+        for (double s : samples) {
+            ++seen_;
+            if (all_.size() < cap_) {
+                all_.push_back(s);
+            } else {
+                // Algorithm R: after n observations every sample has been
+                // retained with probability cap/n.
+                const std::uint64_t j = rng_.next_below(seen_);
+                if (j < cap_) all_[static_cast<std::size_t>(j)] = s;
+            }
+        }
+        samples.clear();
     }
 
-    /// Order statistics over everything merged so far (ns).
+    /// Order statistics over the reservoir (ns), with the retained
+    /// fraction in summary::fraction (1.0 until the cap is exceeded).
     summary summarize_ns() const {
         std::lock_guard lk(mu_);
-        return summarize(all_);
+        summary s = summarize(all_);
+        s.fraction = seen_ == 0
+                         ? 1.0
+                         : static_cast<double>(all_.size()) / static_cast<double>(seen_);
+        return s;
     }
 
+    /// Samples currently retained in the reservoir (== observed() until
+    /// the cap is exceeded).
     std::size_t sample_count() const {
         std::lock_guard lk(mu_);
         return all_.size();
     }
 
+    /// Samples ever merged.
+    std::uint64_t observed() const {
+        std::lock_guard lk(mu_);
+        return seen_;
+    }
+
 private:
     mutable std::mutex mu_;
+    std::size_t cap_;
+    std::uint64_t seen_ = 0;
+    xorshift64 rng_;
     std::vector<double> all_;
 };
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "lfll/primitives/instrument.hpp"
+#include "lfll/telemetry/metrics.hpp"
 
 namespace lfll::harness {
 
@@ -87,6 +88,15 @@ run_result run_timed(int threads, int millis, Worker&& worker) {
     for (std::uint64_t ops : res.per_thread_ops) res.total_ops += ops;
     res.ops_per_sec = res.seconds > 0 ? static_cast<double>(res.total_ops) / res.seconds : 0;
     res.counters = detail::delta(before, instrument::snapshot());
+
+    // Publish the cell's result so a live exporter (LFLL_TELEMETRY, see
+    // telemetry/exporter.hpp) shows per-cell progress alongside the live
+    // lfll_op_* counters. Per-run, so the by-name lookup cost is noise.
+    auto& reg = telemetry::registry::global();
+    reg.get_counter("lfll_runs_total").inc();
+    reg.get_counter("lfll_run_ops_total").add(res.total_ops);
+    reg.get_gauge("lfll_run_threads").set(threads);
+    reg.get_gauge("lfll_run_ops_per_sec").set(static_cast<std::int64_t>(res.ops_per_sec));
     return res;
 }
 

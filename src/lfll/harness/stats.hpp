@@ -10,6 +10,10 @@ namespace lfll::harness {
 struct summary {
     double min = 0, max = 0, mean = 0, stddev = 0, p50 = 0, p99 = 0;
     std::size_t n = 0;
+    /// Fraction of observed samples the statistics were computed over
+    /// (1.0 unless the producing sink subsamples — see latency_sink's
+    /// bounded reservoir).
+    double fraction = 1.0;
 };
 
 /// Computes order statistics over a copy of `samples` (left unmodified).

@@ -29,6 +29,12 @@
 #include "lfll/dict/skip_list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
 
+// Observability: metrics registry, exporters, flight recorder.
+#include "lfll/telemetry/exporter.hpp"
+#include "lfll/telemetry/metrics.hpp"
+#include "lfll/telemetry/op_counters.hpp"
+#include "lfll/telemetry/trace.hpp"
+
 // Primitives.
 #include "lfll/primitives/backoff.hpp"
 #include "lfll/primitives/cas_emulation.hpp"

@@ -53,6 +53,8 @@
 #include "lfll/primitives/cacheline.hpp"
 #include "lfll/primitives/instrument.hpp"
 #include "lfll/primitives/test_hooks.hpp"
+#include "lfll/telemetry/metrics.hpp"
+#include "lfll/telemetry/trace.hpp"
 
 namespace lfll {
 
@@ -70,6 +72,15 @@ public:
     /// grows by doubling slabs when exhausted (growth takes a mutex; the
     /// alloc fast path is lock-free).
     explicit node_pool(std::size_t initial_capacity = 1024) {
+        // Health gauges, labelled by policy and shared by every pool under
+        // that policy (last-sampled instance wins; see docs/telemetry.md).
+        // Resolved once here so the sampling sites are a relaxed store.
+        auto& reg = telemetry::registry::global();
+        const std::string label = std::string("policy=\"") + Policy::name + "\"";
+        g_free_depth_ = &reg.get_gauge("lfll_free_list_depth", label);
+        g_capacity_ = &reg.get_gauge("lfll_pool_capacity", label);
+        g_backlog_ = &reg.get_gauge("lfll_retired_backlog", label);
+        g_backlog_->set(0);  // registered (and correct) even before any retire
         grow(initial_capacity == 0 ? 1 : initial_capacity);
     }
 
@@ -233,13 +244,17 @@ public:
     /// protected by concurrent guards survive and end the loop.
     void drain_retired() {
         if constexpr (Policy::deferred) {
+            LFLL_TRACE_PHASE(telemetry::trace_phase::reclaim);
+            LFLL_TRACE_SPAN(telemetry::trace_op::drain, 0);
             std::size_t prev = domain_.retired_count();
             while (prev > 0) {
                 domain_.drain();
                 const std::size_t now = domain_.retired_count();
+                g_backlog_->set(static_cast<std::int64_t>(now));
                 if (now >= prev) break;
                 prev = now;
             }
+            sample_gauges();
         }
     }
 
@@ -350,6 +365,9 @@ private:
         instrument::tls().nodes_reclaimed++;
         refct_unclaim_to_one(q->refct);  // the free list's reference
         push_chain(q, q);
+        // Recycle boundary: cheap (one relaxed store) free-depth sample.
+        g_free_depth_->set(
+            static_cast<std::int64_t>(free_count_.load(std::memory_order_relaxed)));
     }
 
     /// Splice the chain first..last (linked via next) onto the free list.
@@ -377,6 +395,7 @@ private:
         }
         slabs_.push_back(std::move(s));
         capacity_.fetch_add(n, std::memory_order_relaxed);
+        g_capacity_->set(static_cast<std::int64_t>(capacity_.load(std::memory_order_relaxed)));
         // Splice the whole slab in one CAS loop.
         Node* head = free_head_.load(std::memory_order_acquire);
         do {
@@ -385,8 +404,19 @@ private:
                                                    std::memory_order_acq_rel,
                                                    std::memory_order_acquire));
         free_count_.fetch_add(n, std::memory_order_relaxed);
+        sample_gauges();
     }
 
+    /// Samples the pool-health gauges (grow/drain boundaries).
+    void sample_gauges() noexcept {
+        g_free_depth_->set(
+            static_cast<std::int64_t>(free_count_.load(std::memory_order_relaxed)));
+        g_backlog_->set(static_cast<std::int64_t>(domain_.retired_count()));
+    }
+
+    telemetry::gauge* g_free_depth_ = nullptr;
+    telemetry::gauge* g_capacity_ = nullptr;
+    telemetry::gauge* g_backlog_ = nullptr;
     alignas(cacheline_size) std::atomic<Node*> free_head_{nullptr};
     alignas(cacheline_size) std::atomic<std::size_t> capacity_{0};
     alignas(cacheline_size) std::atomic<std::size_t> free_count_{0};

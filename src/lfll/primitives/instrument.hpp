@@ -1,46 +1,6 @@
-// Lightweight per-thread operation counters.
-//
-// The paper's §4.1 performance claims are stated in terms of *extra work* —
-// retried TryInsert/TryDelete calls and auxiliary-node hops — which are
-// hardware-independent quantities. Benchmarks E3-E6 report these counters,
-// so the library increments them on the relevant paths. Counters are plain
-// (non-atomic) thread-locals: incrementing costs one add, and each thread's
-// totals are folded into a global registry when the thread detaches (or on
-// explicit flush), so readers only ever see quiescent sums.
+// Forwarding header: the op-counter backend moved to lfll/telemetry/,
+// where it feeds the metrics registry. Kept so the many hot-path call
+// sites (and external users) keep their historical include.
 #pragma once
 
-#include <cstdint>
-
-namespace lfll {
-
-struct op_counters {
-    std::uint64_t safe_reads = 0;       ///< SafeRead invocations
-    std::uint64_t saferead_retries = 0; ///< SafeRead revalidation failures
-    std::uint64_t cas_attempts = 0;     ///< pointer-swing CAS attempts
-    std::uint64_t cas_failures = 0;     ///< pointer-swing CAS failures
-    std::uint64_t insert_retries = 0;   ///< TryInsert calls that returned false
-    std::uint64_t delete_retries = 0;   ///< TryDelete calls that returned false
-    std::uint64_t aux_hops = 0;         ///< auxiliary nodes traversed by Update
-    std::uint64_t aux_compactions = 0;  ///< adjacent-aux chains collapsed
-    std::uint64_t cells_traversed = 0;  ///< normal cells visited by FindFrom
-    std::uint64_t nodes_allocated = 0;  ///< pool Alloc calls
-    std::uint64_t nodes_reclaimed = 0;  ///< pool Reclaim calls
-
-    op_counters& operator+=(const op_counters& o) noexcept;
-};
-
-namespace instrument {
-
-/// This thread's counters. Cheap enough to call on hot paths.
-op_counters& tls();
-
-/// Sum of all counters: live threads' current values plus totals from
-/// threads that have exited. Only meaningful when mutators are quiescent.
-op_counters snapshot();
-
-/// Reset every registered thread's counters and the retired total.
-/// Only call while mutators are quiescent.
-void reset();
-
-}  // namespace instrument
-}  // namespace lfll
+#include "lfll/telemetry/op_counters.hpp"

@@ -2,7 +2,37 @@
 
 #include <cassert>
 
+#include "lfll/telemetry/metrics.hpp"
+#include "lfll/telemetry/trace.hpp"
+
 namespace lfll {
+namespace {
+
+// Health gauges, shared by every epoch_domain in the process (last
+// sampled instance wins — ticker-grade telemetry, not per-instance
+// accounting). Resolved once; the registry outlives all domains.
+telemetry::gauge& backlog_gauge() {
+    static telemetry::gauge& g = telemetry::registry::global().get_gauge(
+        "lfll_retired_backlog", "policy=\"epoch\"");
+    return g;
+}
+telemetry::gauge& lag_gauge() {
+    static telemetry::gauge& g =
+        telemetry::registry::global().get_gauge("lfll_epoch_lag", "policy=\"epoch\"");
+    return g;
+}
+telemetry::counter& advances_counter() {
+    static telemetry::counter& c = telemetry::registry::global().get_counter(
+        "lfll_epoch_advances_total", "policy=\"epoch\"");
+    return c;
+}
+telemetry::counter& drained_counter() {
+    static telemetry::counter& c = telemetry::registry::global().get_counter(
+        "lfll_drain_freed_total", "policy=\"epoch\"");
+    return c;
+}
+
+}  // namespace
 
 epoch_domain::epoch_domain(int max_threads, std::size_t advance_threshold)
     : ctxs_(static_cast<std::size_t>(max_threads)), advance_threshold_(advance_threshold) {
@@ -95,6 +125,7 @@ void epoch_domain::retire_at(int ctx, retired_node r) {
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     ctxs_[ctx].buckets[e % kBuckets].push_back(r);
     const std::size_t total = retired_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    backlog_gauge().set(static_cast<std::int64_t>(total));
     if (total >= advance_threshold_) try_advance();
 }
 
@@ -102,16 +133,24 @@ std::size_t epoch_domain::try_advance() {
     if (advancing_.test_and_set(std::memory_order_acquire)) return 0;  // someone else is at it
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     bool all_current = true;
+    std::uint64_t min_pinned = e;  // no lagging pin seen yet
     for (const auto& ctx : ctxs_) {
         const std::uint64_t s = ctx.state.load(std::memory_order_seq_cst);
-        if (s != 0 && (s >> 1) != e) {
-            all_current = false;
-            break;
+        if (s != 0) {
+            const std::uint64_t pinned = s >> 1;
+            if (pinned != e) all_current = false;
+            if (pinned < min_pinned) min_pinned = pinned;
         }
     }
+    // Epoch lag (global − min pinned): 0 means every active pin is
+    // current and the next advance can proceed; a persistently positive
+    // lag fingers a stalled reader holding the grace period open. The ctx
+    // sweep already paid for the loads, so the sample is free here.
+    lag_gauge().set(static_cast<std::int64_t>(e - min_pinned));
     std::size_t freed = 0;
     if (all_current) {
         global_epoch_.store(e + 1, std::memory_order_seq_cst);
+        advances_counter().inc();
         // Nodes banked in epoch e-1 are now unreachable by any pin: every
         // active thread was verified to be in e, and new pins start in e+1.
         freed = free_bucket((e - 1) % kBuckets);
@@ -124,6 +163,8 @@ std::size_t epoch_domain::free_bucket(std::size_t idx) {
     // Callbacks may cascade-retire; those retires bank by the *new*
     // current epoch (e or e+1 mod 3), never into the bucket being freed,
     // and a nested try_advance bounces off the advancing_ latch.
+    LFLL_TRACE_PHASE(telemetry::trace_phase::reclaim);
+    LFLL_TRACE_SPAN(telemetry::trace_op::drain, idx);
     std::size_t freed = 0;
     for (auto& ctx : ctxs_) {
         auto& bucket = ctx.buckets[idx];
@@ -133,6 +174,11 @@ std::size_t epoch_domain::free_bucket(std::size_t idx) {
         retired_total_.fetch_sub(work.size(), std::memory_order_relaxed);
         freed += work.size();
         for (auto& r : work) invoke(r);
+    }
+    if (freed > 0) {
+        drained_counter().add(freed);
+        backlog_gauge().set(
+            static_cast<std::int64_t>(retired_total_.load(std::memory_order_relaxed)));
     }
     return freed;
 }

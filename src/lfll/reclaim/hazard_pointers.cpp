@@ -3,7 +3,38 @@
 #include <algorithm>
 #include <cassert>
 
+#include "lfll/telemetry/metrics.hpp"
+#include "lfll/telemetry/trace.hpp"
+
 namespace lfll {
+namespace {
+
+// Health gauges, shared by every hazard_domain in the process (last
+// sampled instance wins — ticker-grade telemetry). Occupancy is sampled
+// inside scan(), which already reads every slot, so the gauge costs the
+// hot path nothing.
+telemetry::gauge& backlog_gauge() {
+    static telemetry::gauge& g = telemetry::registry::global().get_gauge(
+        "lfll_retired_backlog", "policy=\"hazard\"");
+    return g;
+}
+telemetry::gauge& occupancy_gauge() {
+    static telemetry::gauge& g = telemetry::registry::global().get_gauge(
+        "lfll_hazard_slots_occupied", "policy=\"hazard\"");
+    return g;
+}
+telemetry::gauge& groups_gauge() {
+    static telemetry::gauge& g = telemetry::registry::global().get_gauge(
+        "lfll_hazard_groups_occupied", "policy=\"hazard\"");
+    return g;
+}
+telemetry::counter& drained_counter() {
+    static telemetry::counter& c = telemetry::registry::global().get_counter(
+        "lfll_drain_freed_total", "policy=\"hazard\"");
+    return c;
+}
+
+}  // namespace
 
 hazard_domain::hazard_domain(int max_threads, std::size_t scan_threshold)
     : groups_(static_cast<std::size_t>(max_threads)), scan_threshold_(scan_threshold) {
@@ -84,7 +115,8 @@ void hazard_domain::retire_with(int group, void* p, void (*fn)(void*, void*), vo
 void hazard_domain::retire_impl(int group, retired_node r) {
     auto& g = groups_[group];
     g.retired.push_back(r);
-    retired_total_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t total = retired_total_.fetch_add(1, std::memory_order_relaxed) + 1;
+    backlog_gauge().set(static_cast<std::int64_t>(total));
     if (g.retired.size() >= scan_threshold_) scan(g);
 }
 
@@ -96,6 +128,8 @@ std::size_t hazard_domain::scan(slot_group& g) {
     // iteration; anything new is picked up by a later scan.
     if (g.scanning) return 0;
     g.scanning = true;
+    LFLL_TRACE_PHASE(telemetry::trace_phase::reclaim);
+    LFLL_TRACE_SPAN(telemetry::trace_op::scan, 0);
     std::size_t total_freed = 0;
     std::vector<retired_node> work;
     std::vector<retired_node> keep;
@@ -111,12 +145,19 @@ std::size_t hazard_domain::scan(slot_group& g) {
 
         hazards.clear();
         hazards.reserve(groups_.size() * slots_per_thread);
+        std::size_t occupied_groups = 0;
         for (const auto& grp : groups_) {
+            const std::size_t before = hazards.size();
             for (const auto& h : grp.hp) {
                 void* p = h.load(std::memory_order_seq_cst);
                 if (p != nullptr) hazards.push_back(p);
             }
+            if (hazards.size() != before) ++occupied_groups;
         }
+        // The scan already paid for every slot load, so occupancy is a
+        // free sample at exactly the drain boundary the ISSUE asks for.
+        occupancy_gauge().set(static_cast<std::int64_t>(hazards.size()));
+        groups_gauge().set(static_cast<std::int64_t>(occupied_groups));
         std::sort(hazards.begin(), hazards.end());
 
         std::size_t freed = 0;
@@ -137,6 +178,11 @@ std::size_t hazard_domain::scan(slot_group& g) {
         g.retired.insert(g.retired.end(), keep.begin(), keep.end());
         total_freed += freed;
         if (freed == 0) break;
+    }
+    if (total_freed > 0) {
+        drained_counter().add(total_freed);
+        backlog_gauge().set(
+            static_cast<std::int64_t>(retired_total_.load(std::memory_order_relaxed)));
     }
     g.scanning = false;
     return total_freed;

@@ -1,0 +1,72 @@
+// Snapshot exporters: render the registry as Prometheus text or JSON
+// lines, and a periodic background thread that does so on an interval.
+//
+// Formats:
+//  * prometheus — the text exposition format. Written whole-file each
+//    tick (temp file + rename, so a scraper never sees a torn write);
+//    point a node_exporter textfile collector or `promtool` at it.
+//  * jsonl — one JSON object per tick, appended:
+//      {"ts_ms":<unix ms>,"metrics":{"<name>{<labels>}":<number>,...}}
+//    Histograms are flattened to <name>_count / _sum / _p50 / _p99.
+//    `tools/lfll_top` tails this stream and renders a live terminal view.
+//
+// Environment hook (exporter_from_env): set
+//    LFLL_TELEMETRY=prom:/path/to/metrics.prom
+//    LFLL_TELEMETRY=jsonl:/path/to/metrics.jsonl   (or jsonl:- for stdout)
+//    LFLL_TELEMETRY_MS=500                         (tick period, default 1000)
+// and every bench/tool that calls exporter_from_env() publishes live
+// metrics for the run with no code changes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lfll/telemetry/metrics.hpp"
+
+namespace lfll::telemetry {
+
+std::string render_prometheus(const std::vector<metric_row>& rows);
+std::string render_jsonl(const std::vector<metric_row>& rows, std::uint64_t ts_ms);
+
+enum class export_format { prometheus, jsonl };
+
+/// Background thread emitting registry::global().snapshot() every
+/// `period` until stopped (destruction stops and emits one final tick).
+class periodic_exporter {
+public:
+    periodic_exporter(export_format fmt, std::string path,
+                      std::chrono::milliseconds period);
+    ~periodic_exporter();
+
+    periodic_exporter(const periodic_exporter&) = delete;
+    periodic_exporter& operator=(const periodic_exporter&) = delete;
+
+    /// Stop the thread (idempotent); emits one final snapshot.
+    void stop();
+
+    /// Synchronously emit one snapshot now (also what each tick does).
+    void emit_once();
+
+private:
+    void run();
+
+    export_format fmt_;
+    std::string path_;  // "-" = stdout
+    std::chrono::milliseconds period_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool stopped_ = false;
+    std::thread thread_;
+};
+
+/// Starts an exporter as configured by LFLL_TELEMETRY / LFLL_TELEMETRY_MS;
+/// returns nullptr when the variable is unset or malformed.
+std::unique_ptr<periodic_exporter> exporter_from_env();
+
+}  // namespace lfll::telemetry

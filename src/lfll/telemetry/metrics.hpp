@@ -1,0 +1,208 @@
+// Metrics registry: named counters, gauges, and log2-bucketed latency
+// histograms, built for lock-free hot paths.
+//
+// Design:
+//  * counter — monotone, striped across cache-line-padded shards; each
+//    thread is pinned to one shard (round-robin at first use), so the
+//    common case is a relaxed fetch_add on a line no other core is
+//    hammering. value() folds the shards.
+//  * gauge — a last-written signed value (relaxed set/add). Policy health
+//    samples (retired backlog, epoch lag, hazard occupancy) land here,
+//    written at retire/drain boundaries where the producing subsystem
+//    already holds the number.
+//  * histogram — 64 log2 buckets plus sum/count, striped like counters.
+//    record() costs one bit_width and two relaxed adds on a thread-local
+//    shard.
+//
+// snapshot() is quiescent-or-approximate: it never blocks writers; while
+// mutators run it observes each shard at some recent relaxed value (sums
+// are monotone approximations), and it is exact once writers are quiet.
+// This is the contract the periodic exporters (exporter.hpp) want.
+//
+// Metric identity is (name, labels): `get_counter("lfll_runs_total")`,
+// `get_gauge("lfll_retired_backlog", R"(policy="epoch")")`. Handles are
+// stable for the registry's lifetime — resolve once, cache the reference.
+// The per-thread op_counters (op_counters.hpp) are the registry's
+// hot-path counter backend: snapshot() folds them in as lfll_op_* rows,
+// so one-add call sites stay one add.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lfll/primitives/cacheline.hpp"
+
+namespace lfll::telemetry {
+
+namespace detail {
+/// Round-robin shard pin: a thread keeps one index for every striped
+/// metric, assigned on first use.
+inline std::size_t shard_index(std::size_t shard_count) noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t idx = next.fetch_add(1, std::memory_order_relaxed);
+    return idx % shard_count;
+}
+}  // namespace detail
+
+/// Monotone counter, striped to keep concurrent increments off one line.
+class counter {
+public:
+    static constexpr std::size_t shard_count = 16;
+
+    void add(std::uint64_t n = 1) noexcept {
+        shards_[detail::shard_index(shard_count)].v.fetch_add(n,
+                                                              std::memory_order_relaxed);
+    }
+    void inc() noexcept { add(1); }
+
+    std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    /// Quiescent-only (test) reset.
+    void clear() noexcept {
+        for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct alignas(cacheline_size) shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+    shard shards_[shard_count];
+};
+
+/// Last-written signed value; producers sample into it, exporters read.
+class gauge {
+public:
+    void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+    std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// Lock-free log2-bucketed histogram. Bucket b counts values whose
+/// bit width is b, i.e. bucket 0 = {0}, bucket b = [2^(b-1), 2^b - 1];
+/// everything with bit width > 63 lands in bucket 63. The upper bound of
+/// bucket b is therefore 2^b - 1 (used by the Prometheus `le` labels).
+class histogram {
+public:
+    static constexpr int bucket_count = 64;
+    static constexpr std::size_t shard_count = 8;
+
+    static int bucket_of(std::uint64_t v) noexcept {
+        const int w = std::bit_width(v);
+        return w < bucket_count ? w : bucket_count - 1;
+    }
+
+    /// Upper bound (inclusive) of bucket b.
+    static std::uint64_t bucket_bound(int b) noexcept {
+        return b >= bucket_count - 1 ? ~std::uint64_t{0}
+                                     : (std::uint64_t{1} << b) - 1;
+    }
+
+    void record(std::uint64_t v) noexcept {
+        auto& s = shards_[detail::shard_index(shard_count)];
+        s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const noexcept {
+        std::uint64_t n = 0;
+        for (const auto& s : shards_)
+            for (const auto& b : s.buckets) n += b.load(std::memory_order_relaxed);
+        return n;
+    }
+
+    std::uint64_t sum() const noexcept {
+        std::uint64_t n = 0;
+        for (const auto& s : shards_) n += s.sum.load(std::memory_order_relaxed);
+        return n;
+    }
+
+    /// Folded per-bucket counts (non-cumulative).
+    std::vector<std::uint64_t> buckets() const {
+        std::vector<std::uint64_t> out(bucket_count, 0);
+        for (const auto& s : shards_)
+            for (int b = 0; b < bucket_count; ++b)
+                out[static_cast<std::size_t>(b)] +=
+                    s.buckets[b].load(std::memory_order_relaxed);
+        return out;
+    }
+
+    void clear() noexcept {
+        for (auto& s : shards_) {
+            for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+            s.sum.store(0, std::memory_order_relaxed);
+        }
+    }
+
+private:
+    struct alignas(cacheline_size) shard {
+        std::atomic<std::uint64_t> buckets[bucket_count] = {};
+        std::atomic<std::uint64_t> sum{0};
+    };
+    shard shards_[shard_count];
+};
+
+enum class metric_kind { counter, gauge, histogram };
+
+/// One metric's state at snapshot time.
+struct metric_row {
+    std::string name;
+    std::string labels;  ///< Prometheus label body, e.g. `policy="epoch"`; may be empty
+    metric_kind kind = metric_kind::counter;
+    double value = 0;  ///< counter/gauge value; histogram count
+
+    // Histogram-only:
+    std::uint64_t hist_count = 0;
+    std::uint64_t hist_sum = 0;
+    std::vector<std::uint64_t> hist_buckets;  ///< non-cumulative, log2
+
+    /// Approximate quantile from the log2 buckets (upper bound of the
+    /// bucket holding the q-th sample); 0 when empty.
+    double quantile(double q) const noexcept;
+};
+
+class registry {
+public:
+    /// The process-wide registry every subsystem samples into.
+    static registry& global();
+
+    counter& get_counter(const std::string& name, const std::string& labels = "");
+    gauge& get_gauge(const std::string& name, const std::string& labels = "");
+    histogram& get_histogram(const std::string& name, const std::string& labels = "");
+
+    /// All registered metrics plus the lfll_op_* rows folded from the
+    /// per-thread op-counter backend. Never blocks writers; exact only at
+    /// quiescence (see header comment).
+    std::vector<metric_row> snapshot() const;
+
+    /// Quiescent-only: zero counters/histograms and the op-counter
+    /// backend. Gauges keep their last sample. Intended for tests.
+    void reset();
+
+private:
+    registry() = default;
+
+    struct entry {
+        metric_kind kind;
+        std::unique_ptr<counter> c;
+        std::unique_ptr<gauge> g;
+        std::unique_ptr<histogram> h;
+    };
+
+    mutable std::mutex mu_;
+    std::map<std::pair<std::string, std::string>, entry> metrics_;
+};
+
+}  // namespace lfll::telemetry

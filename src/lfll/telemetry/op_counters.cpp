@@ -1,4 +1,4 @@
-#include "lfll/primitives/instrument.hpp"
+#include "lfll/telemetry/op_counters.hpp"
 
 #include <mutex>
 #include <vector>
@@ -20,12 +20,42 @@ op_counters& op_counters::operator+=(const op_counters& o) noexcept {
     return *this;
 }
 
+op_counters op_counters_tls::read() const noexcept {
+    op_counters v;
+    v.safe_reads = safe_reads.load();
+    v.saferead_retries = saferead_retries.load();
+    v.cas_attempts = cas_attempts.load();
+    v.cas_failures = cas_failures.load();
+    v.insert_retries = insert_retries.load();
+    v.delete_retries = delete_retries.load();
+    v.aux_hops = aux_hops.load();
+    v.aux_compactions = aux_compactions.load();
+    v.cells_traversed = cells_traversed.load();
+    v.nodes_allocated = nodes_allocated.load();
+    v.nodes_reclaimed = nodes_reclaimed.load();
+    return v;
+}
+
+void op_counters_tls::clear() noexcept {
+    safe_reads.clear();
+    saferead_retries.clear();
+    cas_attempts.clear();
+    cas_failures.clear();
+    insert_retries.clear();
+    delete_retries.clear();
+    aux_hops.clear();
+    aux_compactions.clear();
+    cells_traversed.clear();
+    nodes_allocated.clear();
+    nodes_reclaimed.clear();
+}
+
 namespace instrument {
 namespace {
 
 struct registry {
     std::mutex mu;
-    std::vector<const op_counters*> live;
+    std::vector<const op_counters_tls*> live;
     op_counters retired;  // folded-in totals of exited threads
 
     static registry& get() {
@@ -36,7 +66,7 @@ struct registry {
 
 // Registers on first use in a thread; folds into `retired` on thread exit.
 struct tls_slot {
-    op_counters counters;
+    op_counters_tls counters;
 
     tls_slot() {
         auto& r = registry::get();
@@ -47,14 +77,14 @@ struct tls_slot {
     ~tls_slot() {
         auto& r = registry::get();
         std::lock_guard lk(r.mu);
-        r.retired += counters;
+        r.retired += counters.read();
         std::erase(r.live, &counters);
     }
 };
 
 }  // namespace
 
-op_counters& tls() {
+op_counters_tls& tls() {
     thread_local tls_slot slot;
     return slot.counters;
 }
@@ -63,7 +93,7 @@ op_counters snapshot() {
     auto& r = registry::get();
     std::lock_guard lk(r.mu);
     op_counters total = r.retired;
-    for (const op_counters* c : r.live) total += *c;
+    for (const op_counters_tls* c : r.live) total += c->read();
     return total;
 }
 
@@ -71,8 +101,8 @@ void reset() {
     auto& r = registry::get();
     std::lock_guard lk(r.mu);
     r.retired = {};
-    for (const op_counters* c : r.live) {
-        *const_cast<op_counters*>(c) = {};
+    for (const op_counters_tls* c : r.live) {
+        const_cast<op_counters_tls*>(c)->clear();
     }
 }
 

@@ -64,6 +64,57 @@ TEST(Latency, MergesAcrossThreads) {
     EXPECT_EQ(sink.sample_count(), 4u * 50u);
 }
 
+TEST(Latency, ReservoirCapBoundsRetention) {
+    latency_sink sink(/*reservoir_cap=*/64);
+    std::vector<double> batch(1000, 5.0);
+    sink.merge(std::move(batch));
+    EXPECT_EQ(sink.sample_count(), 64u);
+    EXPECT_EQ(sink.observed(), 1000u);
+
+    std::vector<double> more(500, 7.0);
+    sink.merge(std::move(more));
+    EXPECT_EQ(sink.sample_count(), 64u);
+    EXPECT_EQ(sink.observed(), 1500u);
+}
+
+TEST(Latency, ReservoirReportsRetainedFraction) {
+    latency_sink sink(/*reservoir_cap=*/100);
+    std::vector<double> batch(400, 3.0);
+    sink.merge(std::move(batch));
+    const summary s = sink.summarize_ns();
+    EXPECT_EQ(s.n, 100u);
+    EXPECT_DOUBLE_EQ(s.fraction, 0.25);
+    // All observations were identical, so subsampling must not change the
+    // order statistics.
+    EXPECT_DOUBLE_EQ(s.p50, 3.0);
+    EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Latency, FractionIsOneBelowCap) {
+    latency_sink sink;  // default cap (1 << 18) far above 10 samples
+    std::vector<double> batch(10, 1.0);
+    sink.merge(std::move(batch));
+    const summary s = sink.summarize_ns();
+    EXPECT_EQ(s.n, 10u);
+    EXPECT_DOUBLE_EQ(s.fraction, 1.0);
+}
+
+TEST(Latency, ReservoirKeepsLaterSamplesWithBoundedBias) {
+    // After 10x-cap observations of a two-phase stream (first half 1.0,
+    // second half 2.0), Algorithm R should retain a roughly even split —
+    // a naive "keep first cap" would retain only 1.0s.
+    latency_sink sink(/*reservoir_cap=*/200);
+    std::vector<double> first(1000, 1.0);
+    std::vector<double> second(1000, 2.0);
+    sink.merge(std::move(first));
+    sink.merge(std::move(second));
+    const summary s = sink.summarize_ns();
+    EXPECT_EQ(s.n, 200u);
+    // mean in (1,2), well away from either pure phase.
+    EXPECT_GT(s.mean, 1.2);
+    EXPECT_LT(s.mean, 1.8);
+}
+
 TEST(Latency, ExplicitFlushThenMore) {
     latency_sink sink;
     latency_sampler s(sink, 0);

@@ -1,25 +1,37 @@
 // soak: long-running randomized reliability driver.
 //
-// Runs the full mixed workload against every structure in rotation, with
-// per-round ledger verification and quiescent audits, until the time
-// budget expires. Intended for hours-long burn-in runs that CI's short
-// test suite cannot provide:
+// Runs the full mixed workload against every structure in rotation —
+// including the sorted-list dictionary under all three memory policies —
+// with per-round ledger verification and quiescent audits, until the
+// time budget expires. Intended for hours-long burn-in runs that CI's
+// short test suite cannot provide:
 //
 //     ./build/tools/soak 3600          # one hour
 //     ./build/tools/soak 60 42         # one minute, seed 42
+//
+// Telemetry: a once-per-second ticker prints live throughput and the
+// reclamation health gauges (retired backlog per policy, free-list
+// depth); set LFLL_TELEMETRY=jsonl:<path> to also stream registry
+// snapshots for `tools/lfll_top`, and build with -DLFLL_TRACE=ON to get
+// a Chrome/Perfetto trace of the final window (LFLL_TRACE_OUT, default
+// soak_trace.json) on exit.
 //
 // Exit code 0 = every round verified; nonzero = invariant violation
 // (details on stderr).
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "lfll/baseline/harris_michael_list.hpp"
 #include "lfll/core/audit.hpp"
 #include "lfll/lfll.hpp"
+#include "lfll/telemetry/exporter.hpp"
+#include "lfll/telemetry/trace.hpp"
 
 namespace {
 
@@ -32,6 +44,9 @@ struct round_config {
 };
 
 int failures = 0;
+
+/// Completed-op count for the live ticker (bumped in chunks per thread).
+std::atomic<std::uint64_t> soak_ops{0};
 
 void fail(const char* what) {
     std::fprintf(stderr, "SOAK FAILURE: %s\n", what);
@@ -65,6 +80,8 @@ void ledger_round(std::uint64_t seed, const round_config& cfg, Insert&& ins, Era
                         break;
                 }
             }
+            soak_ops.fetch_add(static_cast<std::uint64_t>(cfg.ops_per_thread),
+                               std::memory_order_relaxed);
         });
     }
     go.store(true, std::memory_order_release);
@@ -77,15 +94,27 @@ void ledger_round(std::uint64_t seed, const round_config& cfg, Insert&& ins, Era
     }
 }
 
+/// Mixed run + quiescent audit of the sorted-list dictionary under one
+/// memory policy. Running all three per cycle keeps every policy's
+/// reclamation gauges (retired backlog, epoch lag, hazard occupancy)
+/// live in the telemetry stream.
+template <typename Policy>
+void dict_round(std::uint64_t seed, const round_config& cfg) {
+    sorted_list_map<int, int, std::less<int>, Policy> m(2048);
+    ledger_round(
+        seed, cfg, [&](int k) { return m.insert(k, k); },
+        [&](int k) { return m.erase(k); }, [&](int k) { return m.contains(k); });
+    m.list().pool().drain_retired();
+    auto r = audit_list(m.list());
+    if (!r.ok)
+        fail(("sorted_list_map<" + std::string(Policy::name) + "> audit: " + r.error)
+                 .c_str());
+}
+
 void one_cycle(std::uint64_t seed, const round_config& cfg) {
-    {
-        sorted_list_map<int, int> m(2048);
-        ledger_round(
-            seed, cfg, [&](int k) { return m.insert(k, k); },
-            [&](int k) { return m.erase(k); }, [&](int k) { return m.contains(k); });
-        auto r = audit_list(m.list());
-        if (!r.ok) fail(("sorted_list_map audit: " + r.error).c_str());
-    }
+    dict_round<valois_refcount>(seed, cfg);
+    dict_round<hazard_policy>(seed + 5, cfg);
+    dict_round<epoch_policy>(seed + 6, cfg);
     {
         hash_map<int, int> m(32, 16);
         ledger_round(
@@ -136,6 +165,8 @@ void one_cycle(std::uint64_t seed, const round_config& cfg) {
                         out.fetch_add(1);
                     }
                 }
+                soak_ops.fetch_add(static_cast<std::uint64_t>(cfg.ops_per_thread),
+                                   std::memory_order_relaxed);
             });
         }
         for (auto& th : ts) th.join();
@@ -145,24 +176,76 @@ void one_cycle(std::uint64_t seed, const round_config& cfg) {
     }
 }
 
+std::int64_t gauge_value(const char* name, const char* labels = "") {
+    return telemetry::registry::global().get_gauge(name, labels).value();
+}
+
+/// Once-per-second live ticker: throughput since the last tick plus the
+/// reclamation health gauges for every policy.
+void ticker_loop(const std::atomic<bool>& done, const std::atomic<long>& cycles) {
+    std::uint64_t last_ops = 0;
+    auto last = std::chrono::steady_clock::now();
+    const auto start = last;
+    while (!done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+        const auto now = std::chrono::steady_clock::now();
+        const std::uint64_t ops = soak_ops.load(std::memory_order_relaxed);
+        const double dt = std::chrono::duration<double>(now - last).count();
+        const double rate =
+            dt > 0 ? static_cast<double>(ops - last_ops) / dt / 1e6 : 0.0;
+        std::printf(
+            "soak %5.0fs | %ld cycles | %6.2f Mops/s | backlog v/h/e "
+            "%lld/%lld/%lld | free %lld | epoch lag %lld | hp slots %lld\n",
+            std::chrono::duration<double>(now - start).count(), cycles.load(), rate,
+            static_cast<long long>(
+                gauge_value("lfll_retired_backlog", "policy=\"valois_refcount\"")),
+            static_cast<long long>(
+                gauge_value("lfll_retired_backlog", "policy=\"hazard\"")),
+            static_cast<long long>(
+                gauge_value("lfll_retired_backlog", "policy=\"epoch\"")),
+            static_cast<long long>(
+                gauge_value("lfll_free_list_depth", "policy=\"valois_refcount\"")),
+            static_cast<long long>(gauge_value("lfll_epoch_lag", "policy=\"epoch\"")),
+            static_cast<long long>(
+                gauge_value("lfll_hazard_slots_occupied", "policy=\"hazard\"")));
+        std::fflush(stdout);
+        last_ops = ops;
+        last = now;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const double seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
     std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20260704ULL;
 
+    auto exporter = telemetry::exporter_from_env();
+    std::atomic<bool> done{false};
+    std::atomic<long> cycles{0};
+    std::thread ticker(ticker_loop, std::cref(done), std::cref(cycles));
+
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::duration<double>(seconds);
     const round_config configs[] = {
         {4, 32, 3000}, {8, 8, 2000}, {2, 256, 4000}, {6, 1, 1500},
     };
-    long cycles = 0;
     while (std::chrono::steady_clock::now() < deadline && failures == 0) {
-        one_cycle(seed, configs[cycles % (sizeof configs / sizeof configs[0])]);
+        one_cycle(seed, configs[cycles.load() % (sizeof configs / sizeof configs[0])]);
         seed = splitmix64(seed).next();
-        ++cycles;
-        if (cycles % 10 == 0) std::printf("soak: %ld cycles, 0 failures\n", cycles);
+        cycles.fetch_add(1);
     }
-    std::printf("soak finished: %ld cycles, %d failures\n", cycles, failures);
+
+    done.store(true, std::memory_order_release);
+    ticker.join();
+    if (exporter != nullptr) exporter->stop();
+    if constexpr (telemetry::trace_enabled) {
+        const char* out = std::getenv("LFLL_TRACE_OUT");
+        const std::string path = out != nullptr ? out : "soak_trace.json";
+        telemetry::write_chrome_trace(path);
+        std::printf("soak: flight-recorder trace written to %s\n", path.c_str());
+    }
+    std::printf("soak finished: %ld cycles, %d failures, %llu ops\n", cycles.load(),
+                failures, static_cast<unsigned long long>(soak_ops.load()));
     return failures == 0 ? 0 : 1;
 }
