@@ -122,6 +122,15 @@ public:
         }
     }
 
+    /// Read-only visit for const holders (telemetry sampling). Logically
+    /// const: the traversal never changes the mapping, but under counting
+    /// policies it does bump reclamation metadata (reference counts) on
+    /// the nodes it crosses, hence the cast rather than a const cursor.
+    template <typename F>
+    void for_each(F&& f) const {
+        const_cast<sorted_list_map*>(this)->for_each(std::forward<F>(f));
+    }
+
     /// Ordered range scan: every (key, value) with lo <= key < hi, via
     /// the light read-only walk. Concurrent-safe.
     template <typename F>

@@ -32,6 +32,70 @@
 // harmless (§5.1: "we can safely reuse cells ... as long as we can
 // guarantee that no other processes have pointers to the cell").
 //
+// --- Magazine fast path (Bonwick-style, in front of Figs. 17-18) --------
+//
+// The paper's Alloc/Reclaim funnel every thread through one CAS-contended
+// free-list head. To make the steady-state alloc/free path a thread-local
+// pointer bump, the pool layers a magazine allocator in front of it:
+//
+//   thread cache (active + previous magazine)   <- no shared memory at all
+//        |  exchange full/empty magazines
+//   depot (lock-free stacks of full / empty magazines)
+//        |  single-node fallback on magazine miss
+//   global free list (Fig. 17/18, unchanged)
+//        |  slab growth on exhaustion
+//   slab arena
+//
+// A magazine is a bounded array of `mag_rounds` node pointers; each node
+// cached in a magazine carries the cache's counted reference (count 1,
+// next == nullptr), exactly like a node on the global free list, so the
+// SafeRead transient-increment protocol stays sound for cached nodes.
+// alloc() pops from the active magazine (plain array store, zero RMWs
+// beyond the caller-visible count transfer, which is free: the magazine's
+// reference is handed to the caller); reclaim() pushes into it. When the
+// active magazine runs dry (or fills), it is swapped with the previous
+// magazine; only when BOTH are dry (full) does the thread touch shared
+// memory, exchanging a magazine with the depot. The depot sits in front
+// of the global list: deferred policies' drains land reclaimed nodes in
+// the draining thread's magazines (overflowing into the depot), not past
+// them.
+//
+// Thread exit and pool destruction flush residual magazines through a
+// registry (one record per (thread, pool), protocol serialized by a
+// registry mutex): nodes go back to the global free list, magazines to
+// the empty depot. Everything above the global list is therefore an
+// accounting detail: free_count()/for_each_free() aggregate the global
+// list AND every magazine, so quiescent audits see one coherent pool.
+//
+// Toggle: compile-time default via the LFLL_MAGAZINE CMake option,
+// process override via the LFLL_MAGAZINE env var or
+// set_magazine_override(), per-pool via pool_config::magazines.
+//
+// --- ABA audit of the LIFO heads (PR 1 follow-up) -----------------------
+//
+// Three LIFO heads live in this subsystem; they use two different ABA
+// defenses, on purpose:
+//
+//  * The global free-list head (`free_head_`) carries NO version tag.
+//    It does not need one: pops go through free_list_read(), which lands
+//    a counted reference on the candidate head before the CAS. While any
+//    thread holds that reference the node's count cannot reach zero, so
+//    the node cannot be reclaimed and therefore cannot be *re-pushed*;
+//    head == q can only recur after every in-flight popper of q has
+//    released it. A stalled pop's CAS thus succeeds only when its `next`
+//    snapshot is still the node's current successor — the counted head IS
+//    the tagged-head fix here, with the count word as an unbounded tag.
+//  * The depot heads (`depot_full_head_`, `depot_empty_head_`) hold
+//    magazines, which have no count word, so they use the same
+//    {tag:32, index:32} packed heads as the epoch/hazard ctx allocators
+//    (PR 1). Tag-width invariant: the tag is bumped by every successful
+//    CAS and wraps at 2^32, so ABA would require one thread to stall
+//    mid-pop across an exact multiple of 2^32 successful depot
+//    operations and then observe the same index — out of reach for any
+//    real schedule (the depot is the *slow* path; it sees one op per
+//    mag_rounds pool ops). Magazines, like slabs, are never freed while
+//    the pool lives, so a stale depot pointer is always dereferenceable.
+//
 // Node requirements (duck-typed; valois_list::node and the baselines'
 // nodes satisfy them):
 //    derives from Policy::header (provides std::atomic<refct_t> refct)
@@ -41,11 +105,15 @@
 //    void on_reclaim();             // destroy payload, reset flags
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "lfll/memory/policy.hpp"
@@ -57,6 +125,52 @@
 #include "lfll/telemetry/trace.hpp"
 
 namespace lfll {
+
+namespace detail {
+/// Process-wide magazine override: -1 = use the build/env default,
+/// 0/1 = force off/on for pools constructed afterwards (A/B sweeps).
+inline std::atomic<int>& magazine_override_flag() noexcept {
+    static std::atomic<int> v{-1};
+    return v;
+}
+}  // namespace detail
+
+/// Forces the magazine default for subsequently constructed pools
+/// (0 = off, 1 = on, -1 = back to the build/env default). Benches use
+/// this for in-process A/B sweeps; existing pools are unaffected.
+inline void set_magazine_override(int v) noexcept {
+    detail::magazine_override_flag().store(v < 0 ? -1 : (v != 0),
+                                           std::memory_order_relaxed);
+}
+
+/// Default for pool_config::magazines: the LFLL_MAGAZINE CMake option
+/// (compile-time), overridden by the LFLL_MAGAZINE env var (0/1), and
+/// then by set_magazine_override().
+inline bool magazine_default() noexcept {
+    const int o = detail::magazine_override_flag().load(std::memory_order_relaxed);
+    if (o >= 0) return o != 0;
+    static const bool env_default = [] {
+#if defined(LFLL_MAGAZINE) && LFLL_MAGAZINE == 0
+        bool on = false;
+#else
+        bool on = true;
+#endif
+        const char* e = std::getenv("LFLL_MAGAZINE");
+        if (e != nullptr && e[0] != '\0') on = !(e[0] == '0' || e[0] == 'n' || e[0] == 'N');
+        return on;
+    }();
+    return env_default;
+}
+
+/// Construction-time knobs for node_pool.
+struct pool_config {
+    std::size_t initial_capacity = 1024;
+    /// -1 = magazine_default(), 0 = off, 1 = on.
+    int magazines = -1;
+    /// Node pointers per magazine; 0 = auto (scaled to initial_capacity,
+    /// clamped to [8, 64] so small per-bucket pools keep small caches).
+    std::size_t mag_rounds = 0;
+};
 
 template <typename Node, typename Policy = valois_refcount>
 class node_pool {
@@ -71,7 +185,14 @@ public:
     /// Creates a pool with `initial_capacity` pre-allocated nodes. The pool
     /// grows by doubling slabs when exhausted (growth takes a mutex; the
     /// alloc fast path is lock-free).
-    explicit node_pool(std::size_t initial_capacity = 1024) {
+    explicit node_pool(std::size_t initial_capacity = 1024)
+        : node_pool(pool_config{initial_capacity}) {}
+
+    explicit node_pool(const pool_config& cfg)
+        : mag_on_(cfg.magazines < 0 ? magazine_default() : cfg.magazines != 0),
+          mag_rounds_(cfg.mag_rounds != 0
+                          ? cfg.mag_rounds
+                          : std::clamp<std::size_t>(cfg.initial_capacity / 4, 8, 64)) {
         // Health gauges, labelled by policy and shared by every pool under
         // that policy (last-sampled instance wins; see docs/telemetry.md).
         // Resolved once here so the sampling sites are a relaxed store.
@@ -80,16 +201,24 @@ public:
         g_free_depth_ = &reg.get_gauge("lfll_free_list_depth", label);
         g_capacity_ = &reg.get_gauge("lfll_pool_capacity", label);
         g_backlog_ = &reg.get_gauge("lfll_retired_backlog", label);
+        g_mag_hits_ = &reg.get_counter("lfll_pool_magazine_hits_total", label);
+        g_mag_misses_ = &reg.get_counter("lfll_pool_magazine_misses_total", label);
+        g_mag_flushes_ = &reg.get_counter("lfll_pool_magazine_flushes_total", label);
+        g_mag_depot_ = &reg.get_gauge("lfll_pool_magazine_depot_full", label);
         g_backlog_->set(0);  // registered (and correct) even before any retire
-        grow(initial_capacity == 0 ? 1 : initial_capacity);
+        grow(cfg.initial_capacity == 0 ? 1 : cfg.initial_capacity);
     }
 
     /// Flushes anything the policy still has banked back onto the free
     /// list (the reclaim callback touches pool internals, so this must
     /// complete before members die; domain_ is declared last and thus
-    /// destroyed first as a backstop).
+    /// destroyed first as a backstop). Magazines are flushed after the
+    /// drain (the drain may land nodes in this thread's magazines) and
+    /// their registry records detached so exiting threads skip the dead
+    /// pool.
     ~node_pool() {
         drain_retired();
+        detach_caches();
         assert(domain_.retired_count() == 0 &&
                "node_pool destroyed with nodes still protected");
     }
@@ -104,21 +233,30 @@ public:
     /// per operation.
     guard make_guard() { return guard(domain_); }
 
-    /// Paper Fig. 17 (Alloc). Returns a node holding one private counted
-    /// reference owned by the caller (under every policy); `next` is
-    /// null. Never returns nullptr (grows).
+    /// Paper Fig. 17 (Alloc), fronted by the magazine layer. Returns a
+    /// node holding one private counted reference owned by the caller
+    /// (under every policy); `next` is null. Never returns nullptr
+    /// (grows).
     Node* alloc() {
         instrument::tls().nodes_allocated++;
         for (;;) {
+            if (mag_on_) {
+                // Magazine hit: the cache's counted reference transfers to
+                // the caller — the fast path performs no shared-memory RMW.
+                if (Node* q = mag_alloc()) return q;
+            }
             Node* q = free_list_read(free_head_);
             if (q == nullptr) {
                 // Reclaim pressure before growing: a deferred policy may
                 // have a long retire cascade banked (e.g. the queue's
                 // dummy chain, which frees strictly one node per pass).
+                // Progress lands either on the global list or in THIS
+                // thread's magazines; both are visible next iteration.
                 if constexpr (Policy::deferred) {
-                    if (domain_.retired_count() > 0) {
+                    const std::size_t before = domain_.retired_count();
+                    if (before > 0) {
                         drain_retired();
-                        if (free_head_.load(std::memory_order_acquire) != nullptr) continue;
+                        if (domain_.retired_count() < before) continue;
                     }
                 }
                 grow(capacity_.load(std::memory_order_relaxed));
@@ -227,15 +365,42 @@ public:
     /// Number of nodes the pool has ever handed slabs for.
     std::size_t capacity() const noexcept { return capacity_.load(std::memory_order_relaxed); }
 
-    /// Approximate free-list length (exact when quiescent).
-    std::size_t free_count() const noexcept { return free_count_.load(std::memory_order_relaxed); }
+    /// Approximate count of nodes available for alloc — global free list
+    /// plus every magazine (thread caches and depot). Exact when
+    /// quiescent.
+    std::size_t free_count() const noexcept {
+        return free_count_.load(std::memory_order_relaxed) + magazine_cached_count();
+    }
 
-    /// Nodes currently outside the free list (exact when quiescent).
+    /// Nodes currently outside the free list and magazines (exact when
+    /// quiescent).
     std::size_t live_count() const noexcept { return capacity() - free_count(); }
 
     /// Nodes retired but awaiting the policy's grace period (0 for the
     /// immediate default policy).
     std::size_t retired_count() const noexcept { return domain_.retired_count(); }
+
+    /// Whether this pool routes alloc/free through the magazine layer.
+    bool magazines_enabled() const noexcept { return mag_on_; }
+
+    /// Node pointers per magazine.
+    std::size_t magazine_rounds() const noexcept { return mag_rounds_; }
+
+    /// Approximate count of nodes cached in magazines (thread caches and
+    /// depot together). Exact when quiescent.
+    std::size_t magazine_cached_count() const noexcept {
+        std::size_t total = 0;
+        for_each_magazine([&](const magazine& m) {
+            total += m.count.load(std::memory_order_relaxed);
+        });
+        return total;
+    }
+
+    /// Full magazines currently parked in the depot (gauge source).
+    std::size_t depot_full_magazines() const noexcept {
+        const std::int64_t n = depot_full_count_.load(std::memory_order_relaxed);
+        return n > 0 ? static_cast<std::size_t>(n) : 0;
+    }
 
     /// Quiescent flush of the policy's banked nodes back to the free list.
     /// Runs the policy's collection until it stops making progress.
@@ -258,6 +423,17 @@ public:
         }
     }
 
+    /// Quiescent flush of every magazine (thread caches and depot) back
+    /// to the global free list. Tests and A/B harnesses use it to compare
+    /// the raw Fig. 17/18 path; the destructor runs it implicitly.
+    void flush_magazines() {
+        std::lock_guard lk(mag_registry_mutex());
+        for (mag_cache* c = cache_records_; c != nullptr; c = c->next_record) {
+            flush_cache(*c);
+        }
+        flush_depot_full();
+    }
+
     /// Visits every slab slot. Only meaningful while no other thread is
     /// mutating; used by the test-suite audits.
     template <typename F>
@@ -268,14 +444,20 @@ public:
         }
     }
 
-    /// Walks the free list. Only meaningful while no other thread is
-    /// mutating; used by the test-suite audits.
+    /// Walks every node available for alloc: the global free list, then
+    /// every magazine's cached nodes. Only meaningful while no other
+    /// thread is mutating; used by the test-suite audits (a cached node
+    /// carries the cache's reference, exactly like a free-list node).
     template <typename F>
     void for_each_free(F&& f) const {
         for (const Node* p = free_head_.load(std::memory_order_acquire); p != nullptr;
              p = p->next.load(std::memory_order_acquire)) {
             f(p);
         }
+        for_each_magazine([&](const magazine& m) {
+            const std::uint32_t n = m.count.load(std::memory_order_acquire);
+            for (std::uint32_t i = 0; i < n; ++i) f(m.rounds[i]);
+        });
     }
 
 private:
@@ -285,6 +467,340 @@ private:
         std::unique_ptr<Node[]> nodes;
         std::size_t count;
     };
+
+    // --- magazine layer ---------------------------------------------------
+
+    /// A bounded cache of node pointers. rounds[0..count) hold nodes, each
+    /// carrying the magazine's counted reference (count word 1, next
+    /// null). `count` is owner-written (the holding thread, or a flusher
+    /// at quiescence) and racily read by the approximate introspection;
+    /// cross-thread hand-off happens only through the depot CAS, whose
+    /// release/acquire pair publishes rounds[] and count.
+    struct magazine {
+        std::atomic<std::int32_t> next_free{-1};  ///< depot stack link
+        std::int32_t index = -1;                  ///< own arena slot
+        std::atomic<std::uint32_t> count{0};
+        std::unique_ptr<Node*[]> rounds;
+    };
+
+    /// Per-(thread, pool) magazine cache. Hot fields are owner-only while
+    /// the pool lives; owner/next_record are serialized by
+    /// mag_registry_mutex(). hit/miss/flush tallies are folded into the
+    /// telemetry registry at depot and flush boundaries (single-writer
+    /// until a quiescent flush).
+    struct mag_cache {
+        /// Mirrors of active->rounds.get() / active->count that keep the
+        /// hit path's dependent-load chain inside this record (the
+        /// magazine's own count is write-through-updated every op, so the
+        /// accounting walkers never see a stale value).
+        Node** arounds = nullptr;
+        std::uint32_t acount = 0;
+        magazine* active = nullptr;
+        magazine* prev = nullptr;  ///< invariant: empty or full, never partial
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t flushes = 0;
+        node_pool* owner = nullptr;
+        mag_cache* next_record = nullptr;
+
+        void attach_active(magazine* m) noexcept {
+            active = m;
+            arounds = m != nullptr ? m->rounds.get() : nullptr;
+            acount = m != nullptr ? m->count.load(std::memory_order_relaxed) : 0;
+        }
+    };
+
+    /// Registry-protocol lock, shared by every pool of this instantiation:
+    /// thread first-use, thread exit, pool destruction, and explicit
+    /// flushes serialize here (never the hot path). A single mutex keyed
+    /// to the *class* (not the instance) sidesteps the lifetime race of
+    /// locking a mutex inside a pool that is concurrently destructed.
+    static std::mutex& mag_registry_mutex() {
+        static std::mutex m;
+        return m;
+    }
+
+    /// Thread-local record table for this instantiation, keyed by pool id
+    /// so a record can never alias a dead pool whose storage was reused.
+    /// The destructor is the thread-exit flush.
+    struct tl_registry {
+        std::unordered_map<std::uint64_t, mag_cache*> records;
+        std::uint64_t cached_id = 0;
+        mag_cache* cached = nullptr;
+
+        ~tl_registry() {
+            std::lock_guard lk(mag_registry_mutex());
+            for (auto& [id, c] : records) {
+                (void)id;
+                if (c->owner != nullptr) {
+                    c->owner->flush_cache(*c);
+                    c->owner->unlink_record(c);
+                }
+                delete c;
+            }
+        }
+    };
+
+    static tl_registry& tls_registry() {
+        thread_local tl_registry r;
+        return r;
+    }
+
+    /// This thread's cache for this pool (created and registered on first
+    /// use). The single-entry cache makes the common one-pool-per-loop
+    /// case two loads and a compare.
+    mag_cache* this_thread_cache() {
+        tl_registry& r = tls_registry();
+        if (r.cached_id == pool_id_) return r.cached;
+        mag_cache*& slot = r.records[pool_id_];
+        if (slot == nullptr) {
+            auto* c = new mag_cache{};
+            {
+                std::lock_guard lk(mag_registry_mutex());
+                c->owner = this;
+                c->next_record = cache_records_;
+                cache_records_ = c;
+            }
+            slot = c;
+        }
+        r.cached_id = pool_id_;
+        r.cached = slot;
+        return slot;
+    }
+
+    /// Magazine-layer alloc. Returns nullptr on a miss (empty caches and
+    /// empty depot); the caller falls through to the global free list.
+    Node* mag_alloc() {
+        mag_cache* c = this_thread_cache();
+        for (;;) {
+            const std::uint32_t n = c->acount;
+            if (n > 0) {
+                c->hits++;
+                c->acount = n - 1;
+                Node* q = c->arounds[n - 1];
+                c->active->count.store(n - 1, std::memory_order_relaxed);
+                return q;
+            }
+            if (c->prev != nullptr &&
+                c->prev->count.load(std::memory_order_relaxed) > 0) {
+                magazine* was_active = c->active;
+                c->attach_active(c->prev);
+                c->prev = was_active;
+                continue;
+            }
+            magazine* full = depot_pop(depot_full_head_);
+            if (full == nullptr) {
+                c->misses++;
+                return nullptr;
+            }
+            depot_full_count_.fetch_sub(1, std::memory_order_relaxed);
+            if (c->prev != nullptr) depot_push(depot_empty_head_, c->prev);
+            c->prev = c->active;  // empty (or null): invariant preserved
+            c->attach_active(full);
+            fold_stats(*c);
+        }
+    }
+
+    /// Magazine-layer free. Returns false when the magazine arena is
+    /// exhausted (caller falls back to the global free list). `q` must
+    /// already carry the cache's reference (refct_unclaim_to_one ran).
+    bool mag_free(Node* q) {
+        mag_cache* c = this_thread_cache();
+        for (;;) {
+            const std::uint32_t n = c->acount;
+            if (c->active != nullptr && n < mag_rounds_) {
+                q->next.store(nullptr, std::memory_order_relaxed);
+                c->arounds[n] = q;
+                c->acount = n + 1;
+                c->active->count.store(n + 1, std::memory_order_relaxed);
+                return true;
+            }
+            if (c->prev != nullptr &&
+                c->prev->count.load(std::memory_order_relaxed) == 0) {
+                magazine* was_active = c->active;
+                c->attach_active(c->prev);
+                c->prev = was_active;
+                continue;
+            }
+            magazine* empty = depot_pop(depot_empty_head_);
+            if (empty == nullptr) empty = new_magazine();
+            if (empty == nullptr) {
+                c->misses++;
+                return false;  // arena cap: overflow to the global list
+            }
+            if (c->prev != nullptr) {  // full (invariant): park it
+                depot_push(depot_full_head_, c->prev);
+                depot_full_count_.fetch_add(1, std::memory_order_relaxed);
+                c->flushes++;
+            }
+            c->prev = c->active;  // full (or null)
+            c->attach_active(empty);
+            fold_stats(*c);
+        }
+    }
+
+    /// Depot stacks: {tag:32, index:32} packed heads over the magazine
+    /// arena, the PR 1 tagged-head idiom (see the ABA audit in the header
+    /// comment). index -1 = empty.
+    static std::uint64_t pack_head(std::int32_t index, std::uint32_t tag) noexcept {
+        return (static_cast<std::uint64_t>(tag) << 32) | static_cast<std::uint32_t>(index);
+    }
+    static std::int32_t head_index(std::uint64_t w) noexcept {
+        return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
+    }
+    static std::uint32_t head_tag(std::uint64_t w) noexcept {
+        return static_cast<std::uint32_t>(w >> 32);
+    }
+
+    magazine* depot_pop(std::atomic<std::uint64_t>& head) noexcept {
+        std::uint64_t h = head.load(std::memory_order_acquire);
+        for (;;) {
+            const std::int32_t idx = head_index(h);
+            if (idx < 0) return nullptr;
+            magazine* m = mag_at(idx);
+            const std::int32_t next = m->next_free.load(std::memory_order_acquire);
+            if (head.compare_exchange_weak(h, pack_head(next, head_tag(h) + 1),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+                return m;
+            }
+        }
+    }
+
+    void depot_push(std::atomic<std::uint64_t>& head, magazine* m) noexcept {
+        std::uint64_t h = head.load(std::memory_order_acquire);
+        do {
+            m->next_free.store(head_index(h), std::memory_order_release);
+        } while (!head.compare_exchange_weak(h, pack_head(m->index, head_tag(h) + 1),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire));
+    }
+
+    magazine* mag_at(std::int32_t idx) const noexcept {
+        magazine* chunk =
+            mag_chunks_[static_cast<std::size_t>(idx) / mag_chunk_size].load(
+                std::memory_order_acquire);
+        return &chunk[static_cast<std::size_t>(idx) % mag_chunk_size];
+    }
+
+    /// Allocates a fresh empty magazine from the arena (slow path; shares
+    /// grow_mu_ with slab growth). Returns nullptr at the arena cap — the
+    /// caller then overflows to the global free list, so the cap only
+    /// bounds cache size, never correctness.
+    magazine* new_magazine() {
+        std::lock_guard lk(grow_mu_);
+        if (mag_count_ >= mag_chunk_size * mag_max_chunks) return nullptr;
+        const std::size_t chunk_idx = mag_count_ / mag_chunk_size;
+        if (mag_chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
+            auto chunk = std::make_unique<magazine[]>(mag_chunk_size);
+            mag_chunks_[chunk_idx].store(chunk.get(), std::memory_order_release);
+            mag_chunk_owner_.push_back(std::move(chunk));
+        }
+        magazine* m = mag_at(static_cast<std::int32_t>(mag_count_));
+        m->index = static_cast<std::int32_t>(mag_count_);
+        m->rounds = std::make_unique<Node*[]>(mag_rounds_);
+        ++mag_count_;
+        return m;
+    }
+
+    /// Visits every magazine ever created (wherever it currently sits:
+    /// thread cache, depot, or in transit). Arena slots are append-only
+    /// and never freed while the pool lives, so a racy walk is safe;
+    /// counts are exact only at quiescence.
+    template <typename F>
+    void for_each_magazine(F&& f) const {
+        for (std::size_t chunk_idx = 0; chunk_idx < mag_max_chunks; ++chunk_idx) {
+            magazine* chunk = mag_chunks_[chunk_idx].load(std::memory_order_acquire);
+            if (chunk == nullptr) break;
+            for (std::size_t i = 0; i < mag_chunk_size; ++i) {
+                if (chunk[i].rounds != nullptr) f(chunk[i]);
+            }
+        }
+    }
+
+    /// Quiescent: returns a cache's nodes to the global free list, its
+    /// magazines to the empty depot, and folds its stat tallies. Caller
+    /// holds mag_registry_mutex().
+    void flush_cache(mag_cache& c) {
+        for (magazine** slot : {&c.active, &c.prev}) {
+            magazine* m = *slot;
+            if (m == nullptr) continue;
+            flush_magazine(*m);
+            depot_push(depot_empty_head_, m);
+            *slot = nullptr;
+            c.flushes++;
+        }
+        c.arounds = nullptr;
+        c.acount = 0;
+        fold_stats(c);
+    }
+
+    void flush_magazine(magazine& m) {
+        std::uint32_t n = m.count.load(std::memory_order_relaxed);
+        while (n > 0) {
+            Node* q = m.rounds[--n];
+            push_chain(q, q);
+        }
+        m.count.store(0, std::memory_order_relaxed);
+    }
+
+    /// Quiescent: drains the full-magazine depot back to the free list.
+    void flush_depot_full() {
+        while (magazine* m = depot_pop(depot_full_head_)) {
+            depot_full_count_.fetch_sub(1, std::memory_order_relaxed);
+            flush_magazine(*m);
+            depot_push(depot_empty_head_, m);
+        }
+        g_mag_depot_->set(depot_full_count_.load(std::memory_order_relaxed));
+    }
+
+    /// Destructor protocol: flush every cache, detach the records from
+    /// this pool (their owning threads delete them at thread exit), and
+    /// empty the depot so no node dies inside a magazine.
+    void detach_caches() {
+        std::lock_guard lk(mag_registry_mutex());
+        for (mag_cache* c = cache_records_; c != nullptr;) {
+            mag_cache* next = c->next_record;
+            flush_cache(*c);
+            c->owner = nullptr;
+            c->next_record = nullptr;
+            c = next;
+        }
+        cache_records_ = nullptr;
+        flush_depot_full();
+    }
+
+    /// Removes a record from this pool's registry list. Caller holds
+    /// mag_registry_mutex().
+    void unlink_record(mag_cache* c) noexcept {
+        for (mag_cache** p = &cache_records_; *p != nullptr; p = &(*p)->next_record) {
+            if (*p == c) {
+                *p = c->next_record;
+                return;
+            }
+        }
+    }
+
+    /// Folds a cache's hit/miss/flush tallies into the registry counters
+    /// and refreshes the depot gauge. Runs at depot and flush boundaries
+    /// only, so the steady-state fast path writes no shared metric.
+    void fold_stats(mag_cache& c) noexcept {
+        if (c.hits != 0) {
+            g_mag_hits_->add(c.hits);
+            c.hits = 0;
+        }
+        if (c.misses != 0) {
+            g_mag_misses_->add(c.misses);
+            c.misses = 0;
+        }
+        if (c.flushes != 0) {
+            g_mag_flushes_->add(c.flushes);
+            c.flushes = 0;
+        }
+        g_mag_depot_->set(depot_full_count_.load(std::memory_order_relaxed));
+    }
+
+    // --- global free list (Figs. 17-18) -----------------------------------
 
     /// Raw counted read of the free-list head. Policy-independent on
     /// purpose: free-list nodes never leave the slab arena, so the blind
@@ -310,10 +826,13 @@ private:
     /// releases its link targets, which may themselves die; a chain of
     /// deleted cells can be long, so recursion is not acceptable here.
     void release_cascade(Node* p) noexcept {
+        // Fast path: a release that does not kill the node (the common
+        // case on shared structures) is one RMW — no worklist setup.
+        testing_hooks::chaos_point();  // before the decrement
+        if (!refct_release(p->refct)) return;
         Node* inline_stack[32];
         std::size_t top = 0;
         std::vector<Node*> overflow;
-        inline_stack[top++] = p;
         auto push = [&](Node* n) {
             if (n == nullptr) return;
             if (top < std::size(inline_stack))
@@ -322,21 +841,22 @@ private:
                 overflow.push_back(n);
         };
         for (;;) {
-            Node* q;
-            if (top > 0) {
-                q = inline_stack[--top];
-            } else if (!overflow.empty()) {
-                q = overflow.back();
-                overflow.pop_back();
-            } else {
-                break;
+            // p is claimed: exclusively ours.
+            p->drop_links(push);
+            p->on_reclaim();
+            reclaim(p);
+            for (;;) {
+                if (top > 0) {
+                    p = inline_stack[--top];
+                } else if (!overflow.empty()) {
+                    p = overflow.back();
+                    overflow.pop_back();
+                } else {
+                    return;
+                }
+                testing_hooks::chaos_point();  // before the decrement
+                if (refct_release(p->refct)) break;  // claimed: reclaim it
             }
-            testing_hooks::chaos_point();  // before the decrement
-            if (!refct_release(q->refct)) continue;
-            // We won the claim: q is exclusively ours.
-            q->drop_links(push);
-            q->on_reclaim();
-            reclaim(q);
         }
     }
 
@@ -358,12 +878,16 @@ private:
         static_cast<node_pool*>(self)->unref(static_cast<Node*>(node));
     }
 
-    /// Paper Fig. 18 (Reclaim): push a claimed node (refct == claim) back
-    /// onto the free list. The claim->on-list transition is a fetch_add so
-    /// transient SafeRead increments are preserved (see ref_count.hpp).
+    /// Paper Fig. 18 (Reclaim): hand a claimed node (refct == claim) to
+    /// the magazine layer, overflowing onto the global free list. The
+    /// claim->cached transition is a fetch_add so transient SafeRead
+    /// increments are preserved (see ref_count.hpp). Deferred drains run
+    /// through here too, so their freed nodes land in the draining
+    /// thread's magazines / the depot — never past them.
     void reclaim(Node* q) noexcept {
         instrument::tls().nodes_reclaimed++;
-        refct_unclaim_to_one(q->refct);  // the free list's reference
+        refct_unclaim_to_one(q->refct);  // the cache's / free list's reference
+        if (mag_on_ && mag_free(q)) return;
         push_chain(q, q);
         // Recycle boundary: cheap (one relaxed store) free-depth sample.
         g_free_depth_->set(
@@ -412,14 +936,35 @@ private:
         g_free_depth_->set(
             static_cast<std::int64_t>(free_count_.load(std::memory_order_relaxed)));
         g_backlog_->set(static_cast<std::int64_t>(domain_.retired_count()));
+        g_mag_depot_->set(depot_full_count_.load(std::memory_order_relaxed));
     }
+
+    static constexpr std::size_t mag_chunk_size = 32;
+    static constexpr std::size_t mag_max_chunks = 32;  // <= 1024 magazines
 
     telemetry::gauge* g_free_depth_ = nullptr;
     telemetry::gauge* g_capacity_ = nullptr;
     telemetry::gauge* g_backlog_ = nullptr;
+    telemetry::counter* g_mag_hits_ = nullptr;
+    telemetry::counter* g_mag_misses_ = nullptr;
+    telemetry::counter* g_mag_flushes_ = nullptr;
+    telemetry::gauge* g_mag_depot_ = nullptr;
+    const bool mag_on_;
+    const std::size_t mag_rounds_;
+    const std::uint64_t pool_id_ = next_policy_domain_id();
+    // Contended heads each own a cache line (free_head_ is hammered by the
+    // magazine-off path and overflows; the depot heads by magazine
+    // exchanges) so a push on one never invalidates the other.
     alignas(cacheline_size) std::atomic<Node*> free_head_{nullptr};
+    alignas(cacheline_size) std::atomic<std::uint64_t> depot_full_head_{pack_head(-1, 0)};
+    alignas(cacheline_size) std::atomic<std::uint64_t> depot_empty_head_{pack_head(-1, 0)};
+    alignas(cacheline_size) std::atomic<std::int64_t> depot_full_count_{0};
     alignas(cacheline_size) std::atomic<std::size_t> capacity_{0};
     alignas(cacheline_size) std::atomic<std::size_t> free_count_{0};
+    std::atomic<magazine*> mag_chunks_[mag_max_chunks] = {};
+    std::size_t mag_count_ = 0;                              // under grow_mu_
+    std::vector<std::unique_ptr<magazine[]>> mag_chunk_owner_;  // under grow_mu_
+    mag_cache* cache_records_ = nullptr;  // under mag_registry_mutex()
     mutable std::mutex grow_mu_;
     std::vector<slab> slabs_;
     domain_type domain_;  // last member: destroyed first, after ~node_pool's drain

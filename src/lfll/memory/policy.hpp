@@ -52,9 +52,11 @@ struct counted_header {
     std::atomic<refct_t> refct{0};
 };
 
-/// Globally unique id for policy domains. Thread-local per-domain records
-/// are keyed by this id rather than the domain's address, so a record can
-/// never alias a dead domain whose storage was reused.
+/// Globally unique id for objects that anchor thread-local records:
+/// policy domains (epoch/hazard tl_state) and node pools (magazine
+/// caches). Records are keyed by this id rather than the owner's
+/// address, so a record can never alias a dead owner whose storage was
+/// reused.
 inline std::uint64_t next_policy_domain_id() noexcept {
     static std::atomic<std::uint64_t> counter{1};
     return counter.fetch_add(1, std::memory_order_relaxed);

@@ -139,7 +139,9 @@ private:
     std::size_t free_bucket(std::size_t idx);
 
     std::vector<thread_ctx> ctxs_;
-    std::atomic<std::uint64_t> free_head_{pack_head(-1, 0)};
+    // Own cache line: the ctx free list is CAS-hammered at thread churn
+    // and must not false-share with the epoch counter every pin reads.
+    alignas(cacheline_size) std::atomic<std::uint64_t> free_head_{pack_head(-1, 0)};
     alignas(cacheline_size) std::atomic<std::uint64_t> global_epoch_{2};
     std::atomic_flag advancing_ = ATOMIC_FLAG_INIT;
     std::atomic<std::size_t> retired_total_{0};

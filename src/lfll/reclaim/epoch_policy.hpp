@@ -82,6 +82,10 @@ struct epoch_policy {
         }
     }
 
+    /// The reclaim callback runs on whichever thread advances the epoch,
+    /// and funnels through node_pool::reclaim — so with magazines on,
+    /// deferred drains refill the draining thread's magazines (and the
+    /// depot), not the global free list past them.
     static void retire(domain& d, void* p, reclaim_fn fn, void* ctx) {
         enter(d);  // transient pin when called outside a guard
         d.ed.client_retire(tls(d).ctx, p, fn, ctx);

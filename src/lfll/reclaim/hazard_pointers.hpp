@@ -147,8 +147,10 @@ private:
     std::size_t scan(slot_group& g);
 
     std::vector<slot_group> groups_;
-    std::atomic<std::uint64_t> free_head_{pack_head(-1, 0)};
-    std::atomic<std::size_t> retired_total_{0};
+    // Own cache line: the slot-group free list is CAS-hammered at thread
+    // churn and must not false-share with the scan bookkeeping.
+    alignas(cacheline_size) std::atomic<std::uint64_t> free_head_{pack_head(-1, 0)};
+    alignas(cacheline_size) std::atomic<std::size_t> retired_total_{0};
     std::size_t scan_threshold_;
 };
 

@@ -82,6 +82,10 @@ struct hazard_policy {
         }
     }
 
+    /// The reclaim callback runs on the scanning thread and funnels
+    /// through node_pool::reclaim — so with magazines on, deferred scans
+    /// refill the scanning thread's magazines (and the depot), not the
+    /// global free list past them.
     static void retire(domain& d, void* p, reclaim_fn fn, void* ctx) {
         enter(d);  // transient checkout when called outside a guard
         d.hd.retire_with(tls(d).group, p, fn, ctx);

@@ -1,10 +1,12 @@
 // Hash-table dictionary (§4.1): bucket routing, semantics, iteration.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
 
 #include "lfll/dict/hash_map.hpp"
+#include "lfll/primitives/cacheline.hpp"
 
 namespace {
 
@@ -51,6 +53,33 @@ TEST(HashMap, ForEachVisitsEverythingExactlyOnce) {
         EXPECT_TRUE(seen.insert(k).second);
     });
     EXPECT_EQ(seen.size(), 200u);
+}
+
+// Read-only sampling (telemetry) holds a `const hash_map&` and must be
+// able to size and walk it.
+TEST(HashMap, ConstReferenceSupportsSizeAndForEach) {
+    hash_map<int, int> m(8, 8);
+    for (int k = 0; k < 64; ++k) m.insert(k, k * 3);
+    const hash_map<int, int>& cm = m;
+    EXPECT_EQ(cm.size_slow(), 64u);
+    std::set<int> seen;
+    cm.for_each([&](int k, int v) {
+        EXPECT_EQ(v, k * 3);
+        EXPECT_TRUE(seen.insert(k).second);
+    });
+    EXPECT_EQ(seen.size(), 64u);
+    EXPECT_EQ(cm.bucket_count(), 8u);
+    EXPECT_GE(cm.bucket_at(0).size_slow(), 0u);
+}
+
+// Adjacent buckets must not share a cache line (the slab pads each slot
+// to cache-line multiples).
+TEST(HashMap, BucketsAreCacheLineAligned) {
+    hash_map<int, int> m(4, 4);
+    for (std::size_t i = 0; i < m.bucket_count(); ++i) {
+        const auto addr = reinterpret_cast<std::uintptr_t>(&m.bucket_at(i));
+        EXPECT_EQ(addr % cacheline_size, 0u) << "bucket " << i;
+    }
 }
 
 TEST(HashMap, StringKeysSpreadAcrossBuckets) {

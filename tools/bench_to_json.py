@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Convert bench harness output (LFLL_BENCH_CSV=1 mode) to a JSON artifact.
+
+The harness emits one `== title ==` banner per table followed by CSV rows
+whose numeric cells use fmt_si suffixes (k/M/G). This script parses that
+stream into a machine-readable document so CI runs accumulate a perf
+trajectory:
+
+    LFLL_BENCH_CSV=1 ./bench_e9_alloc | bench_to_json.py bench_e9_alloc > BENCH_alloc.json
+
+Numeric-looking cells are emitted both raw (`"17.9M"`) and decoded
+(`17900000.0`) under `<column>` and `<column>_value`.
+"""
+import json
+import re
+import sys
+
+SI = {"k": 1e3, "M": 1e6, "G": 1e9}
+NUM_RE = re.compile(r"^(-?\d+(?:\.\d+)?)([kMG]?)$")
+
+
+def decode(cell):
+    m = NUM_RE.match(cell.strip())
+    if not m:
+        return None
+    return float(m.group(1)) * SI.get(m.group(2), 1.0)
+
+
+def parse(stream):
+    tables = []
+    headers = None
+    for raw in stream:
+        line = raw.rstrip("\n")
+        banner = re.match(r"^== (.*) ==$", line)
+        if banner:
+            tables.append({"title": banner.group(1), "rows": []})
+            headers = None
+            continue
+        if not tables or not line.strip():
+            continue
+        cells = line.split(",")
+        if headers is None:
+            headers = cells
+            continue
+        if len(cells) != len(headers):
+            continue  # stray non-CSV output (exporter noise etc.)
+        row = {}
+        for key, cell in zip(headers, cells):
+            row[key] = cell
+            value = decode(cell)
+            if value is not None:
+                row[key + "_value"] = value
+        tables[-1]["rows"].append(row)
+    return tables
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "bench"
+    doc = {"bench": name, "tables": parse(sys.stdin)}
+    json.dump(doc, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    if not doc["tables"] or not any(t["rows"] for t in doc["tables"]):
+        sys.stderr.write("bench_to_json: no tables parsed from input\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
