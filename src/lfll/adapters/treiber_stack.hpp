@@ -53,6 +53,7 @@ public:
             // needed for `head`; q itself needs one for head_.
             q->next.store(head, std::memory_order_relaxed);
             pool_.ref(q);
+            testing_hooks::chaos_point(sched::step_kind::cas);  // speculation -> CAS
             if (head_.compare_exchange_weak(head, q, std::memory_order_seq_cst,
                                             std::memory_order_acquire)) {
                 pool_.unref(q);  // our private alloc reference
@@ -70,9 +71,11 @@ public:
             node* q = pool_.protect(head_);
             if (q == nullptr) return std::nullopt;
             node* next = q->next.load(std::memory_order_acquire);
+            testing_hooks::chaos_point(sched::step_kind::cas);  // speculation -> CAS
             node* expected = q;
             if (head_.compare_exchange_strong(expected, next, std::memory_order_seq_cst,
                                               std::memory_order_acquire)) {
+                testing_hooks::chaos_point(sched::step_kind::release);  // transfer window
                 // A successful CAS proves head_ still held its counted
                 // reference to q, which is now ours; q->next keeps its
                 // counted link to `next` until q's reclamation cascade

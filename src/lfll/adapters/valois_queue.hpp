@@ -70,6 +70,7 @@ public:
             // link (or head_), so the CAS can only succeed on a live p.
             node* expected = nullptr;
             pool_.ref(q);  // the prospective link's reference (q is ours)
+            testing_hooks::chaos_point(sched::step_kind::cas);  // before the link CAS
             if (p->next.compare_exchange_strong(expected, q, std::memory_order_seq_cst,
                                                 std::memory_order_acquire)) {
                 break;
@@ -89,6 +90,7 @@ public:
         // walk) would grow without bound. A successful CAS proves tail_
         // still counted t0, and that reference becomes ours.
         pool_.ref(q);  // tail_'s prospective reference
+        testing_hooks::chaos_point(sched::step_kind::cas);  // before the tail swing
         node* expected_tail = t0;
         if (tail_.compare_exchange_strong(expected_tail, q, std::memory_order_seq_cst,
                                           std::memory_order_acquire)) {
@@ -116,6 +118,7 @@ public:
             // Plain ref is sound: h is unreclaimed under our guard, so
             // its next link still counts `first`.
             pool_.ref(first);
+            testing_hooks::chaos_point(sched::step_kind::cas);  // before the head swing
             node* expected = h;
             if (head_.compare_exchange_strong(expected, first, std::memory_order_seq_cst,
                                               std::memory_order_acquire)) {

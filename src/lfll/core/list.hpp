@@ -213,6 +213,7 @@ public:
     /// auxiliary-node chains. target ends on the next normal cell or Last.
     void update(cursor& c) {
         assert(c.list_ == this && c.pre_aux_ != nullptr);
+        testing_hooks::chaos_point(sched::step_kind::revalidate);
         if (c.pre_aux_->next.load(std::memory_order_acquire) == c.target_ &&
             c.target_ != nullptr) {
             return;  // already valid
@@ -305,7 +306,8 @@ public:
         // Best effort under deferred policies: if pre_cell was itself
         // retired meanwhile, the trail stays null and retreating deleters
         // simply stop one hop short (compaction remains best-effort).
-        store_link_checked(d->back_link, c.pre_cell_);
+        testing_hooks::chaos_point(sched::step_kind::back_link);
+        publish_back_link(d->back_link, c.pre_cell_);
 
         // Retreat to the first cell that has not itself been deleted.
         node* p = pool_->copy(c.pre_cell_);
@@ -421,7 +423,7 @@ private:
             ctr.cas_failures++;
             return false;
         }
-        testing_hooks::chaos_point();  // between speculation and CAS
+        testing_hooks::chaos_point(sched::step_kind::cas);  // between speculation and CAS
         node* e = expected;
         if (loc.compare_exchange_strong(e, desired, std::memory_order_seq_cst,
                                         std::memory_order_acquire)) {
@@ -451,6 +453,24 @@ private:
         node* old = loc.exchange(target, std::memory_order_acq_rel);
         pool_->unref(old);
         return true;
+    }
+
+    /// The back_link publication (Fig. 10 line 6): null -> pre_cell, by
+    /// the winning deleter, exactly once. An unconditional exchange here
+    /// would let a second writer replace an already-published trail —
+    /// dropping the counted reference a concurrent retreat may be about
+    /// to follow — so the "set once" contract (node.hpp) is enforced
+    /// structurally with a CAS from null. Refuses (trail stays null)
+    /// when `target` has already been retired, like store_link_checked.
+    bool publish_back_link(std::atomic<node*>& loc, node* target) {
+        if (!pool_->try_ref(target)) return false;
+        node* expected = nullptr;
+        if (loc.compare_exchange_strong(expected, target, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+            return true;
+        }
+        pool_->unref(target);  // lost: a trail is already published
+        return false;
     }
 
     std::unique_ptr<pool_type> owned_pool_;  // null when the pool is shared

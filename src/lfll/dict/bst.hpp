@@ -98,6 +98,7 @@ public:
             if (found != nullptr) {
                 // Present — possibly as a tombstone we can revive.
                 bool was_dead = true;
+                testing_hooks::chaos_point(sched::step_kind::cas);  // tombstone revive
                 const bool revived = found->dead.compare_exchange_strong(
                     was_dead, false, std::memory_order_seq_cst, std::memory_order_acquire);
                 pool_.drop(found);
@@ -128,6 +129,7 @@ public:
         tree_node* found = search(key, nullptr);
         if (found == nullptr) return false;
         bool was_live = false;
+        testing_hooks::chaos_point(sched::step_kind::cas);  // tombstone kill
         const bool killed = found->dead.compare_exchange_strong(
             was_live, true, std::memory_order_seq_cst, std::memory_order_acquire);
         pool_.drop(found);
@@ -250,6 +252,7 @@ private:
             ctr.cas_failures++;
             return false;
         }
+        testing_hooks::chaos_point(sched::step_kind::cas);  // speculation -> CAS
         tree_node* e = expected;
         if (loc.compare_exchange_strong(e, desired, std::memory_order_seq_cst,
                                         std::memory_order_acquire)) {

@@ -269,8 +269,15 @@ private:
     }
 
     int random_level() {
-        thread_local xorshift64 rng(0x51c9a11d ^
-                                    reinterpret_cast<std::uintptr_t>(&rng));
+        // Seeded from a process-wide ordinal, not the TLS object's
+        // address: with ASLR an address seed makes tower heights — and
+        // therefore every schedule that depends on them — unreproducible
+        // across runs, defeating deterministic replay.
+        static std::atomic<std::uint64_t> ordinal{0};
+        thread_local xorshift64 rng(
+            0x51c9a11dULL ^
+            (0x9e3779b97f4a7c15ULL *
+             (1 + ordinal.fetch_add(1, std::memory_order_relaxed))));
         int h = 1;
         while (h < max_level_ && (rng.next() & 1) != 0) ++h;
         return h;

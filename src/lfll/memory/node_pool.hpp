@@ -263,6 +263,7 @@ public:
                 continue;
             }
             Node* next = q->next.load(std::memory_order_acquire);
+            testing_hooks::chaos_point(sched::step_kind::alloc);  // before committing the pop
             Node* expected = q;
             if (free_head_.compare_exchange_strong(expected, next,
                                                    std::memory_order_acq_rel,
@@ -316,8 +317,9 @@ public:
     void unref(Node* p) noexcept {
         if (p == nullptr) return;
         if constexpr (Policy::deferred) {
-            testing_hooks::chaos_point();  // before the decrement
+            testing_hooks::chaos_point(sched::step_kind::release);  // before the decrement
             if (refct_release(p->refct)) {
+                testing_hooks::chaos_point(sched::step_kind::retire);  // claim won, not yet banked
                 Policy::retire(domain_, p, &node_pool::reclaim_cb, this);
             }
         } else {
@@ -413,6 +415,7 @@ public:
             LFLL_TRACE_SPAN(telemetry::trace_op::drain, 0);
             std::size_t prev = domain_.retired_count();
             while (prev > 0) {
+                testing_hooks::chaos_point(sched::step_kind::drain);
                 domain_.drain();
                 const std::size_t now = domain_.retired_count();
                 g_backlog_->set(static_cast<std::int64_t>(now));
@@ -588,6 +591,11 @@ private:
                 c->prev = was_active;
                 continue;
             }
+            // Depot exchange (lock-free; annotated here, NOT inside
+            // depot_pop/push, which flush paths call under the registry
+            // mutex — a chaos point there would deadlock a serialized
+            // session).
+            testing_hooks::chaos_point(sched::step_kind::magazine);
             magazine* full = depot_pop(depot_full_head_);
             if (full == nullptr) {
                 c->misses++;
@@ -622,6 +630,7 @@ private:
                 c->prev = was_active;
                 continue;
             }
+            testing_hooks::chaos_point(sched::step_kind::magazine);  // depot exchange
             magazine* empty = depot_pop(depot_empty_head_);
             if (empty == nullptr) empty = new_magazine();
             if (empty == nullptr) {
@@ -813,9 +822,9 @@ private:
         for (;;) {
             Node* q = location.load(std::memory_order_acquire);
             if (q == nullptr) return nullptr;
-            testing_hooks::chaos_point();  // between read and increment
+            testing_hooks::chaos_point(sched::step_kind::free_list);  // read -> increment
             refct_acquire(q->refct);
-            testing_hooks::chaos_point();  // between increment and revalidation
+            testing_hooks::chaos_point(sched::step_kind::free_list);  // increment -> revalidate
             if (location.load(std::memory_order_acquire) == q) return q;
             ctr.saferead_retries++;
             unref(q);
@@ -828,7 +837,7 @@ private:
     void release_cascade(Node* p) noexcept {
         // Fast path: a release that does not kill the node (the common
         // case on shared structures) is one RMW — no worklist setup.
-        testing_hooks::chaos_point();  // before the decrement
+        testing_hooks::chaos_point(sched::step_kind::release);  // before the decrement
         if (!refct_release(p->refct)) return;
         Node* inline_stack[32];
         std::size_t top = 0;
@@ -854,7 +863,7 @@ private:
                 } else {
                     return;
                 }
-                testing_hooks::chaos_point();  // before the decrement
+                testing_hooks::chaos_point(sched::step_kind::release);  // before the decrement
                 if (refct_release(p->refct)) break;  // claimed: reclaim it
             }
         }

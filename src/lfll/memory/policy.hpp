@@ -167,9 +167,9 @@ struct valois_refcount {
         for (;;) {
             Node* q = location.load(std::memory_order_acquire);
             if (q == nullptr) return nullptr;
-            testing_hooks::chaos_point();  // between read and increment
+            testing_hooks::chaos_point(sched::step_kind::safe_read);  // read -> increment
             refct_acquire(q->refct);
-            testing_hooks::chaos_point();  // between increment and revalidation
+            testing_hooks::chaos_point(sched::step_kind::safe_read);  // increment -> revalidate
             if (location.load(std::memory_order_acquire) == q) return q;
             ctr.saferead_retries++;
             undo(undo_ctx, q);

@@ -3,34 +3,43 @@
 // On this one-core container, true simultaneous CAS conflicts are rare:
 // a thread runs a whole quantum alone, so stress tests explore few
 // interleavings. Translation units compiled with LFLL_SCHED_CHAOS get a
-// randomized yield at every synchronization-relevant step (SafeRead,
-// Release, pointer swings), which forces context switches exactly where
-// the algorithms are most sensitive — a cheap model checker.
+// *typed* chaos point at every synchronization-relevant step (CAS
+// attempts, SafeRead windows, back_link publication, cursor
+// re-validation, policy retire/drain boundaries, magazine/depot
+// exchanges — see sched/step.hpp for the taxonomy).
+//
+// Under an active sched::scheduler session the point is a cooperative
+// serialization step: exactly one registered thread runs at a time and
+// the whole interleaving is a deterministic function of the session
+// seed (replay with LFLL_SCHED_REPLAY=<seed>). Outside a session it
+// degrades to the legacy probabilistic yield, but seeded from the
+// process-wide schedule seed plus a thread ordinal — never from a stack
+// address — so even legacy chaos stress tests are stable across runs
+// and ASLR.
 //
 // The hook compiles to nothing in normal builds; only the dedicated
-// chaos stress tests define the macro (see tests/chaos/).
+// chaos/sched tests define the macro (see tests/chaos/, tests/sched/).
 #pragma once
 
+#include "lfll/sched/step.hpp"
+
 #ifdef LFLL_SCHED_CHAOS
-#include <cstdint>
-#include <thread>
+#include "lfll/sched/scheduler.hpp"
 #endif
 
 namespace lfll::testing_hooks {
 
 #ifdef LFLL_SCHED_CHAOS
-inline void chaos_point() noexcept {
-    // Cheap xorshift; deliberately not lfll::xorshift64 to keep this
-    // header dependency-free for the hot paths that include it.
-    thread_local std::uint64_t state =
-        0x9e3779b97f4a7c15ULL ^ reinterpret_cast<std::uintptr_t>(&state);
-    state ^= state << 13;
-    state ^= state >> 7;
-    state ^= state << 17;
-    if ((state & 0x1f) == 0) std::this_thread::yield();  // ~3% of points
+inline void chaos_point(lfll::sched::step_kind k) noexcept {
+    lfll::sched::on_chaos_point(k);
 }
 #else
-inline void chaos_point() noexcept {}
+inline void chaos_point(lfll::sched::step_kind) noexcept {}
 #endif
+
+/// Legacy untyped spelling; equivalent to a `generic` step.
+inline void chaos_point() noexcept {
+    chaos_point(lfll::sched::step_kind::generic);
+}
 
 }  // namespace lfll::testing_hooks

@@ -98,6 +98,7 @@ struct epoch_policy {
         assert(tls(d).depth > 0 && "epoch_policy: protect outside a guard");
         (void)d;
         instrument::tls().safe_reads++;
+        testing_hooks::chaos_point(sched::step_kind::safe_read);  // hop under the pin
         return location.load(std::memory_order_acquire);
     }
 };

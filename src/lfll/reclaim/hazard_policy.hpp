@@ -104,10 +104,12 @@ struct hazard_policy {
             Node* q = location.load(std::memory_order_acquire);
             if (q == nullptr) break;
             d.hd.publish(t.group, 0, q);
+            testing_hooks::chaos_point(sched::step_kind::publish);  // publish -> revalidate
             if (location.load(std::memory_order_seq_cst) != q) {
                 ctr.saferead_retries++;
                 continue;
             }
+            testing_hooks::chaos_point(sched::step_kind::publish);  // revalidate -> increment
             const refct_t old = q->refct.fetch_add(refct_one, std::memory_order_acq_rel);
             if (refct_claimed(old)) {
                 // Retired between revalidation and increment; the claim

@@ -18,7 +18,11 @@
 //    masks makes the search practical for histories up to ~40 ops.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -34,6 +38,53 @@ struct recorded_op {
     std::uint64_t invoke;    ///< global ticket taken before the call
     std::uint64_t response;  ///< global ticket taken after the return
 };
+
+inline const char* op_name(op_kind k) {
+    switch (k) {
+        case op_kind::insert:   return "insert";
+        case op_kind::erase:    return "erase";
+        case op_kind::contains: return "contains";
+    }
+    return "?";
+}
+
+/// Thread-safe history recorder: global tickets bracket each call so the
+/// checker sees true real-time precedence.
+struct recorder {
+    std::atomic<std::uint64_t> ticket{0};
+    std::mutex mu;
+    std::vector<recorded_op> history;
+
+    template <typename F>
+    void record(int thread, op_kind k, int key, F&& call) {
+        const std::uint64_t inv = ticket.fetch_add(1, std::memory_order_acq_rel);
+        const bool result = call();
+        const std::uint64_t rsp = ticket.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard lk(mu);
+        history.push_back({thread, k, key, result, inv, rsp});
+    }
+};
+
+/// Human-readable dump of a history (one op per line, invocation order),
+/// for failure messages.
+inline std::string describe(const std::vector<recorded_op>& history) {
+    std::ostringstream os;
+    for (const recorded_op& o : history) {
+        os << "  [t" << o.thread << "] " << op_name(o.kind) << '(' << o.key
+           << ") -> " << (o.result ? "true" : "false") << "   @" << o.invoke
+           << ".." << o.response << '\n';
+    }
+    return os.str();
+}
+
+/// Failure banner for schedule-driven runs: names the seed that produced
+/// the history and the exact knob that replays the interleaving.
+inline std::string replay_hint(std::uint64_t seed) {
+    std::ostringstream os;
+    os << "schedule seed " << seed << " — replay this exact interleaving with "
+       << "LFLL_SCHED_REPLAY=" << seed << " (same binary, same filter)";
+    return os.str();
+}
 
 namespace detail {
 

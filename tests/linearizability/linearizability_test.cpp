@@ -100,20 +100,7 @@ TEST(LinChecker, AcceptsConcurrentInsertLoserSeesWinner) {
 // ------------------------------------------------------------- recording
 // real histories from the library's dictionaries.
 
-struct recorder {
-    std::atomic<std::uint64_t> ticket{0};
-    std::mutex mu;
-    std::vector<recorded_op> history;
-
-    template <typename F>
-    void record(int thread, op_kind k, int key, F&& call) {
-        const std::uint64_t inv = ticket.fetch_add(1, std::memory_order_acq_rel);
-        const bool result = call();
-        const std::uint64_t rsp = ticket.fetch_add(1, std::memory_order_acq_rel);
-        std::lock_guard lk(mu);
-        history.push_back({thread, k, key, result, inv, rsp});
-    }
-};
+using lin::recorder;  // shared with the sched explorer (lin_checker.hpp)
 
 /// Runs `threads` x `ops_per_thread` random ops on `keys` hot keys and
 /// checks the resulting history. Repeats for several rounds: small
@@ -154,7 +141,9 @@ void check_structure(MakeDict&& make, int rounds) {
         }
         go.store(true, std::memory_order_release);
         for (auto& th : ts) th.join();
-        ASSERT_TRUE(lin::is_linearizable(rec.history)) << "round " << round;
+        ASSERT_TRUE(lin::is_linearizable(rec.history))
+            << "round " << round << "\n"
+            << lin::describe(rec.history);
     }
 }
 

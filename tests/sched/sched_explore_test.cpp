@@ -1,0 +1,376 @@
+// Bounded schedule exploration: a seed sweep over the deterministic
+// scheduler, checking linearizability (dicts) and no-loss/FIFO (queue)
+// under every reclamation policy. Each seed is one fully serialized
+// interleaving; a failure names the seed and replays exactly with
+// LFLL_SCHED_REPLAY=<seed>.
+//
+// Knobs (see README):
+//   LFLL_SCHED_SEEDS   override the per-case seed count (nightly sweeps)
+//   LFLL_SCHED_REPLAY  run exactly one seed, everywhere it applies
+#define LFLL_SCHED_CHAOS 1
+
+#include <gtest/gtest.h>
+
+#include "test_scale.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "linearizability/lin_checker.hpp"
+
+#include "lfll/adapters/treiber_stack.hpp"
+#include "lfll/adapters/valois_queue.hpp"
+#include "lfll/core/audit.hpp"
+#include "lfll/dict/bst.hpp"
+#include "lfll/dict/skip_list.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/reclaim/epoch_policy.hpp"
+#include "lfll/reclaim/hazard_policy.hpp"
+#include "lfll/sched/session.hpp"
+
+namespace {
+
+using namespace lfll;
+using lin::op_kind;
+
+// ------------------------------------------------------------- seed plumbing
+
+std::uint64_t mix(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Seeds to sweep: the replayed one alone, or 1..N (env-overridable).
+std::vector<std::uint64_t> sweep_seeds(int dflt) {
+    if (auto r = sched::replay_seed_from_env()) return {*r};
+    int n = dflt;
+    if (auto e = sched::detail::env_u64("LFLL_SCHED_SEEDS")) {
+        n = static_cast<int>(*e);
+    }
+    std::vector<std::uint64_t> seeds;
+    for (int i = 1; i <= n; ++i) seeds.push_back(static_cast<std::uint64_t>(i));
+    return seeds;
+}
+
+/// The whole schedule is a function of the seed — including the mode, so
+/// a replayed seed re-derives the same one.
+sched::options session_options(std::uint64_t seed) {
+    sched::options o;
+    o.seed = seed;
+    o.sched_mode = (seed % 2 == 0) ? sched::mode::random_walk : sched::mode::pct;
+    o.change_points = 3;
+    o.max_steps = 2'000'000;  // runaway guard; die() prints the replay seed
+    o.watchdog = std::chrono::milliseconds(60000);
+    return o;
+}
+
+// ------------------------------------------------------- dict sweep (lin)
+
+/// 3 threads x 6 ops on 3 hot keys — small enough for an exhaustive
+/// linearizability check, hot enough that every op contends.
+template <typename Shim>
+void check_dict_seed(std::uint64_t seed) {
+    constexpr int kThreads = 3;
+    constexpr int kOps = 6;
+    constexpr int kKeys = 3;
+    auto dict = std::make_unique<Shim>();
+    lin::recorder rec;
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < kThreads; ++t) {
+        bodies.push_back([&, t] {
+            std::uint64_t rng = seed * 0x2545f4914f6cdd1dULL + static_cast<std::uint64_t>(t);
+            for (int i = 0; i < kOps; ++i) {
+                const int k = static_cast<int>(mix(rng) % kKeys);
+                switch (mix(rng) % 3) {
+                    case 0:
+                        rec.record(t, op_kind::insert, k, [&] { return dict->insert(k); });
+                        break;
+                    case 1:
+                        rec.record(t, op_kind::erase, k, [&] { return dict->erase(k); });
+                        break;
+                    default:
+                        rec.record(t, op_kind::contains, k,
+                                   [&] { return dict->contains(k); });
+                        break;
+                }
+            }
+        });
+    }
+    sched::run(session_options(seed), std::move(bodies));
+    ASSERT_TRUE(lin::is_linearizable(rec.history))
+        << lin::replay_hint(seed) << "\nhistory:\n"
+        << lin::describe(rec.history);
+    const audit_report rep = dict->audit();
+    ASSERT_TRUE(rep.ok) << rep.error << "\n" << lin::replay_hint(seed);
+}
+
+template <typename Shim>
+void sweep_dict(int seeds) {
+    for (std::uint64_t seed : sweep_seeds(seeds)) {
+        ASSERT_NO_FATAL_FAILURE(check_dict_seed<Shim>(seed)) << "seed " << seed;
+    }
+}
+
+template <typename Policy>
+struct flat_shim {
+    sorted_list_map<int, int, std::less<int>, Policy> m{64};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+    audit_report audit() {
+        m.list().pool().drain_retired();
+        return audit_list(m.list());
+    }
+};
+template <typename Policy>
+struct skip_shim {
+    skip_list_map<int, int, std::less<int>, Policy> m{128, 4};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+    audit_report audit() {
+        m.pool().drain_retired();
+        std::vector<valois_list<typename decltype(m)::entry, Policy>*> lists;
+        for (int i = 0; i < m.max_level(); ++i) lists.push_back(&m.level(i));
+        return audit_shared(m.pool(), lists);
+    }
+};
+template <typename Policy>
+struct bst_shim {
+    bst_set<int, std::less<int>, Policy> m{128};
+    bool insert(int k) { return m.insert(k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+    audit_report audit() { return audit_report{}; }  // no bst structural audit (yet)
+};
+
+// Acceptance sweep: >= 64 seeds x 3 policies over sorted_list_map
+// (time-boxed under TSan, where each serialized step is ~20x dearer).
+const int kDictSeeds = lfll_test::scaled_min(64, 8);
+
+TEST(SchedExplore, SortedListMapValoisRefcount) {
+    sweep_dict<flat_shim<valois_refcount>>(kDictSeeds);
+}
+TEST(SchedExplore, SortedListMapHazard) {
+    sweep_dict<flat_shim<hazard_policy>>(kDictSeeds);
+}
+TEST(SchedExplore, SortedListMapEpoch) {
+    sweep_dict<flat_shim<epoch_policy>>(kDictSeeds);
+}
+
+// Satellite audit: skip-list tower unlink and bst retire ordering under
+// hazard_policy (and epoch, whose raw traversal pointers are the other
+// suspect), driven through the same schedule space.
+const int kAuditSeeds = lfll_test::scaled_min(32, 4);
+
+TEST(SchedExplore, SkipListHazard) { sweep_dict<skip_shim<hazard_policy>>(kAuditSeeds); }
+TEST(SchedExplore, SkipListEpoch) { sweep_dict<skip_shim<epoch_policy>>(kAuditSeeds); }
+TEST(SchedExplore, BstHazard) { sweep_dict<bst_shim<hazard_policy>>(kAuditSeeds); }
+TEST(SchedExplore, BstEpoch) { sweep_dict<bst_shim<epoch_policy>>(kAuditSeeds); }
+
+// ------------------------------------------------------ queue sweep (FIFO)
+
+/// 2 producers x 8 items, 1 consumer with a bounded attempt budget (a
+/// greedy consumer at top PCT priority would otherwise spin on empty
+/// forever). After the session: drain quiescently, then check no loss,
+/// no duplication, and per-producer FIFO order.
+template <typename Policy>
+void check_queue_seed(std::uint64_t seed) {
+    constexpr int kProducers = 2;
+    constexpr int kItems = 8;
+    valois_queue<int, Policy> q{64};
+    std::vector<int> consumed;
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < kProducers; ++t) {
+        bodies.push_back([&, t] {
+            for (int i = 0; i < kItems; ++i) q.enqueue(t * 100 + i);
+        });
+    }
+    bodies.push_back([&] {
+        for (int attempts = 0; attempts < 6 * kItems; ++attempts) {
+            if (auto v = q.dequeue()) consumed.push_back(*v);
+        }
+    });
+    sched::run(session_options(seed), std::move(bodies));
+    while (auto v = q.dequeue()) consumed.push_back(*v);
+
+    ASSERT_EQ(consumed.size(), static_cast<std::size_t>(kProducers * kItems))
+        << lin::replay_hint(seed);
+    std::map<int, int> last_per_producer;
+    std::vector<int> sorted = consumed;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        ASSERT_NE(sorted[i - 1], sorted[i])
+            << "duplicate element " << sorted[i] << "; " << lin::replay_hint(seed);
+    }
+    for (int v : consumed) {
+        const int producer = v / 100;
+        auto it = last_per_producer.find(producer);
+        if (it != last_per_producer.end()) {
+            ASSERT_LT(it->second, v)
+                << "per-producer FIFO violated; " << lin::replay_hint(seed);
+        }
+        last_per_producer[producer] = v;
+    }
+}
+
+template <typename Policy>
+void sweep_queue(int seeds) {
+    for (std::uint64_t seed : sweep_seeds(seeds)) {
+        ASSERT_NO_FATAL_FAILURE(check_queue_seed<Policy>(seed)) << "seed " << seed;
+    }
+}
+
+const int kQueueSeeds = lfll_test::scaled_min(64, 8);
+
+TEST(SchedExplore, QueueValoisRefcount) { sweep_queue<valois_refcount>(kQueueSeeds); }
+TEST(SchedExplore, QueueHazard) { sweep_queue<hazard_policy>(kQueueSeeds); }
+TEST(SchedExplore, QueueEpoch) { sweep_queue<epoch_policy>(kQueueSeeds); }
+
+// ------------------------------------------- stack sweep (inventory)
+
+/// Treiber stack under the scheduler: two poppers race one pusher over a
+/// short stack, then the test pops everything left and demands the exact
+/// multiset of pushed values back — no loss, no duplication — plus a
+/// quiescent pool audit (every slot free, §5 count exactly the free
+/// list's single reference, claim bit clear). This is the sweep that
+/// first flushed out the pop-side reference-transfer race: a popper
+/// preempted between its head CAS and the fix-up ref let a second popper
+/// reclaim the new head while it was still live (see
+/// race_scenario_test.cpp for the pinned seed).
+template <typename Policy>
+void check_stack_seed(std::uint64_t seed) {
+    using stack_t = treiber_stack<int, Policy>;
+    stack_t st{16};
+    std::multiset<int> pushed;
+    for (int v = 0; v < 4; ++v) {
+        st.push(v);
+        pushed.insert(v);
+    }
+    for (int t = 0; t < 3; ++t) pushed.insert({200 + t, 210 + t, 220 + t});
+
+    std::vector<std::multiset<int>> popped(2);
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < 2; ++t) {
+        bodies.push_back([&, t] {
+            for (int i = 0; i < 3; ++i) {
+                if (auto v = st.pop()) popped[static_cast<std::size_t>(t)].insert(*v);
+            }
+        });
+    }
+    bodies.push_back([&] {
+        for (int t = 0; t < 3; ++t) {
+            st.push(200 + t);
+            st.push(210 + t);
+            st.push(220 + t);
+        }
+    });
+    sched::run(session_options(seed), std::move(bodies));
+
+    std::multiset<int> got = popped[0];
+    got.insert(popped[1].begin(), popped[1].end());
+    // A cycle of recycled nodes makes pop() succeed forever; bound it.
+    for (std::size_t i = 0; i < 4 * st.pool().capacity(); ++i) {
+        auto v = st.pop();
+        if (!v) break;
+        got.insert(*v);
+    }
+    ASSERT_TRUE(st.empty()) << "stack not drainable (node cycle); " << lin::replay_hint(seed);
+    ASSERT_EQ(got, pushed) << "elements lost or duplicated; " << lin::replay_hint(seed);
+
+    st.pool().drain_retired();
+    using node_t = typename stack_t::node;
+    std::set<const node_t*> free_set;
+    st.pool().for_each_free([&](const node_t* p) { free_set.insert(p); });
+    ASSERT_EQ(free_set.size(), st.pool().capacity()) << lin::replay_hint(seed);
+    st.pool().for_each_node([&](const node_t* p) {
+        const refct_t rc = p->refct.load(std::memory_order_acquire);
+        EXPECT_TRUE(free_set.count(p)) << "pool slot not free at quiescence; "
+                                       << lin::replay_hint(seed);
+        EXPECT_FALSE(refct_claimed(rc))
+            << "free node claim bit set; " << lin::replay_hint(seed);
+        EXPECT_EQ(refct_count(rc), 1u)
+            << "free node refcount " << refct_count(rc) << " != 1; "
+            << lin::replay_hint(seed);
+    });
+}
+
+template <typename Policy>
+void sweep_stack(int seeds) {
+    for (std::uint64_t seed : sweep_seeds(seeds)) {
+        ASSERT_NO_FATAL_FAILURE(check_stack_seed<Policy>(seed)) << "seed " << seed;
+    }
+}
+
+const int kStackSeeds = lfll_test::scaled_min(64, 8);
+
+TEST(SchedExplore, StackValoisRefcount) { sweep_stack<valois_refcount>(kStackSeeds); }
+TEST(SchedExplore, StackHazard) { sweep_stack<hazard_policy>(kStackSeeds); }
+TEST(SchedExplore, StackEpoch) { sweep_stack<epoch_policy>(kStackSeeds); }
+
+// --------------------------------------------- raw list sweep (audit)
+
+/// Raw valois_list cursors under the scheduler: 3 threads churning
+/// inserts and deletes of *adjacent* cells (the Fig. 10 back_link /
+/// retreat / compaction machinery), on a deliberately tiny pool so the
+/// free list and magazines recycle nodes mid-schedule. After the
+/// session, the full quiescent audit: Fig. 4 shape, no stranded aux
+/// chains (§3's theorem), and exact §5 reference counts on every pool
+/// slot — a single leaked or double-counted reference fails the seed.
+template <typename Policy>
+void check_list_seed(std::uint64_t seed) {
+    using list_t = valois_list<int, Policy>;
+    list_t list(8);  // tiny: forces free-list/magazine recycling
+    {
+        typename list_t::cursor c(list);
+        for (int v = 5; v >= 0; --v) list.insert(c, v);
+    }
+    constexpr int kThreads = 3;
+    constexpr int kOps = 5;
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < kThreads; ++t) {
+        bodies.push_back([&, t] {
+            std::uint64_t rng =
+                seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(t) * 0x1234567ULL;
+            for (int op = 0; op < kOps; ++op) {
+                typename list_t::cursor c(list);
+                // Stay near the front: deleters collide on adjacent cells.
+                const int hops = static_cast<int>(mix(rng) % 3);
+                for (int h = 0; h < hops && !c.at_end(); ++h) list.next(c);
+                if (mix(rng) % 3 != 0) {
+                    if (!c.at_end() && list.try_delete(c)) list.update(c);
+                } else {
+                    list.insert(c, 100 * (t + 1) + op);
+                }
+                c.reset();  // audits require no surviving cursor references
+            }
+        });
+    }
+    sched::run(session_options(seed), std::move(bodies));
+    list.pool().drain_retired();
+    const audit_report rep = audit_list(list);
+    ASSERT_TRUE(rep.ok) << rep.error << "\n" << lin::replay_hint(seed);
+}
+
+template <typename Policy>
+void sweep_list(int seeds) {
+    for (std::uint64_t seed : sweep_seeds(seeds)) {
+        ASSERT_NO_FATAL_FAILURE(check_list_seed<Policy>(seed)) << "seed " << seed;
+    }
+}
+
+const int kListSeeds = lfll_test::scaled_min(64, 8);
+
+TEST(SchedExplore, ListAuditValoisRefcount) { sweep_list<valois_refcount>(kListSeeds); }
+TEST(SchedExplore, ListAuditHazard) { sweep_list<hazard_policy>(kListSeeds); }
+TEST(SchedExplore, ListAuditEpoch) { sweep_list<epoch_policy>(kListSeeds); }
+
+}  // namespace

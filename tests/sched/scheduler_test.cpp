@@ -1,0 +1,142 @@
+// Unit tests for the deterministic cooperative scheduler itself:
+// serialization (one attached thread runs between chaos points),
+// same-seed trace equality (the replay guarantee), seed sensitivity,
+// both exploration modes, and the typed-step accounting.
+#define LFLL_SCHED_CHAOS 1
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "lfll/primitives/test_hooks.hpp"
+#include "lfll/sched/session.hpp"
+
+namespace {
+
+using lfll::sched::mode;
+using lfll::sched::options;
+using lfll::sched::scheduler;
+using lfll::sched::step_kind;
+using lfll::sched::trace_event;
+using lfll::testing_hooks::chaos_point;
+
+options opts(std::uint64_t seed, mode m = mode::pct) {
+    options o;
+    o.seed = seed;
+    o.sched_mode = m;
+    o.record_trace = true;
+    o.watchdog = std::chrono::milliseconds(10000);
+    return o;
+}
+
+/// Each worker alternates compute (critical: exactly one thread may be
+/// inside between chaos points) and chaos points. Any overlap means the
+/// scheduler failed to serialize.
+TEST(Scheduler, SerializesAttachedThreads) {
+    std::atomic<int> inside{0};
+    std::atomic<bool> overlapped{false};
+    auto body = [&] {
+        for (int i = 0; i < 50; ++i) {
+            if (inside.fetch_add(1, std::memory_order_acq_rel) != 0) {
+                overlapped.store(true, std::memory_order_relaxed);
+            }
+            inside.fetch_sub(1, std::memory_order_acq_rel);
+            chaos_point(step_kind::generic);
+        }
+    };
+    lfll::sched::run(opts(42), {body, body, body, body});
+    EXPECT_FALSE(overlapped.load());
+    EXPECT_GE(scheduler::instance().steps(), 200u);
+}
+
+TEST(Scheduler, SameSeedSameTrace) {
+    auto capture = [&](std::uint64_t seed, mode m) {
+        auto body = [&] {
+            for (int i = 0; i < 20; ++i) chaos_point(step_kind::cas);
+        };
+        lfll::sched::run(opts(seed, m), {body, body, body});
+        return scheduler::instance().trace();
+    };
+    for (mode m : {mode::pct, mode::random_walk}) {
+        const std::vector<trace_event> a = capture(7, m);
+        const std::vector<trace_event> b = capture(7, m);
+        EXPECT_EQ(a, b) << "mode " << lfll::sched::mode_name(m);
+        EXPECT_EQ(a.size(), 60u);
+    }
+}
+
+TEST(Scheduler, DifferentSeedsExploreDifferentSchedules) {
+    auto capture = [&](std::uint64_t seed) {
+        auto body = [&] {
+            for (int i = 0; i < 20; ++i) chaos_point(step_kind::generic);
+        };
+        lfll::sched::run(opts(seed, mode::random_walk), {body, body, body});
+        return scheduler::instance().trace();
+    };
+    std::vector<std::vector<trace_event>> distinct;
+    for (std::uint64_t s = 1; s <= 8; ++s) {
+        auto t = capture(s);
+        if (std::find(distinct.begin(), distinct.end(), t) == distinct.end()) {
+            distinct.push_back(std::move(t));
+        }
+    }
+    // A scheduler that ignores its seed would produce one schedule.
+    EXPECT_GT(distinct.size(), 1u);
+}
+
+/// PCT runs the highest-priority thread until a change point demotes it:
+/// with zero change points the trace must be N uninterrupted blocks.
+TEST(Scheduler, PctWithoutChangePointsRunsThreadsToCompletion) {
+    options o = opts(13, mode::pct);
+    o.change_points = 0;
+    auto body = [&] {
+        for (int i = 0; i < 10; ++i) chaos_point(step_kind::generic);
+    };
+    lfll::sched::run(o, {body, body, body});
+    const std::vector<trace_event> t = scheduler::instance().trace();
+    ASSERT_EQ(t.size(), 30u);
+    int switches = 0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i].thread != t[i - 1].thread) ++switches;
+    }
+    EXPECT_EQ(switches, 2);  // exactly one block per thread
+}
+
+TEST(Scheduler, CountsStepKinds) {
+    auto body = [&] {
+        chaos_point(step_kind::cas);
+        chaos_point(step_kind::cas);
+        chaos_point(step_kind::back_link);
+    };
+    lfll::sched::run(opts(3), {body, body});
+    auto& s = scheduler::instance();
+    EXPECT_EQ(s.kind_count(step_kind::cas), 4u);
+    EXPECT_EQ(s.kind_count(step_kind::back_link), 2u);
+    EXPECT_EQ(s.kind_count(step_kind::magazine), 0u);
+}
+
+/// Unattached threads (no session) must not crash or hang at chaos
+/// points — they take the seeded fallback yield.
+TEST(Scheduler, FallbackPathOutsideSessions) {
+    for (int i = 0; i < 1000; ++i) chaos_point(step_kind::generic);
+    SUCCEED();
+}
+
+/// Sessions are reusable back-to-back (explorers run hundreds).
+TEST(Scheduler, BackToBackSessions) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        std::atomic<int> done{0};
+        auto body = [&] {
+            chaos_point(step_kind::generic);
+            done.fetch_add(1, std::memory_order_relaxed);
+        };
+        lfll::sched::run(opts(seed), {body, body, body});
+        EXPECT_EQ(done.load(), 3);
+        EXPECT_FALSE(scheduler::instance().session_active());
+    }
+}
+
+}  // namespace

@@ -28,4 +28,11 @@ constexpr int scaled(int n) {
     return s > 0 ? s : 1;
 }
 
+/// As scaled(), but never below `floor` (seed sweeps want a useful
+/// minimum breadth even under TSan).
+constexpr int scaled_min(int n, int floor) {
+    const int s = scaled(n);
+    return s > floor ? s : floor;
+}
+
 }  // namespace lfll_test
