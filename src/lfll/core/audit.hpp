@@ -17,10 +17,12 @@
 //                                      pointers) in the in-degree tally.
 //
 // All functions here require quiescence (no concurrent mutators); the
-// stress tests call them after joining their worker threads. Under a
-// deferred policy (hazard/epoch) also drain_retired() first: a banked
-// node still carries its claim bit and sits on no free list, which the
-// audit would report as a leak.
+// stress tests call them after joining their worker threads. The audit
+// self-cleans at entry: it flushes every thread's deferred-release
+// buffer (a buffered decrement is an elevated count the in-degree tally
+// cannot see) and drains the policy's retired bank (a banked node still
+// carries its claim bit and sits on no free list, which would read as a
+// leak). Explicit drain_retired() calls before auditing remain harmless.
 #pragma once
 
 #include <cstddef>
@@ -73,13 +75,21 @@ void tally_payload_links(const list_node<T, Policy>* n, Tally&& tally) {
 /// Audits `lists` (all built on `pool`). `external_refs` maps node ->
 /// reference count for references held outside the structures (live
 /// cursors, unreleased make_cell/make_aux results).
+///
+/// Takes the pool by mutable reference: the audit first flushes every
+/// thread's deferred-release buffer and drains the policy's retired bank,
+/// so the exact-count check below holds even when traversals batched
+/// their decrements (a buffered decrement is an elevated count the
+/// in-degree tally cannot see).
 template <typename T, typename Policy>
 audit_report audit_shared(
-    const node_pool<list_node<T, Policy>, Policy>& pool,
+    node_pool<list_node<T, Policy>, Policy>& pool,
     const std::vector<valois_list<T, Policy>*>& lists,
     const std::map<const list_node<T, Policy>*, std::size_t>& external_refs = {}) {
     using node = list_node<T, Policy>;
     audit_report r;
+    pool.flush_all_deferred_releases();
+    pool.drain_retired();
 
     std::map<const node*, std::size_t> indegree;
     std::set<const node*> reachable;

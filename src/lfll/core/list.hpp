@@ -17,18 +17,69 @@
 //   first()      — Fig. 6        try_insert() — Fig. 9
 //   next()       — Fig. 7        try_delete() — Fig. 10
 //   update()     — Fig. 5
+//
+// --- Traversal fast path (counting policies) ----------------------------
+//
+// A literal Fig. 5-7 hop under §5 counting costs ~6 RMWs: SafeRead the
+// aux (2), SafeRead the next cell (2), Release the old pre_cell and
+// pre_aux (2). The fast path cuts the steady state to ~1 critical RMW
+// per hop with three mechanisms (see DESIGN.md "Traversal fast path"):
+//
+//  1. Aux reference elision. The cursor's pre_aux is demoted to an
+//     UNREFERENCED hint under every policy: hops read the aux through
+//     the ref'd predecessor without counting it, validated by an
+//     incarnation check (node.hpp) sandwiched around a seq_cst re-read
+//     of the predecessor's next (hop_over_aux below). Slabs never
+//     return to the OS, so a stale read is harmless; the validation
+//     only decides fast-commit vs slow-path.
+//  2. Hand-over-hand reference transfer. next() re-uses the target's
+//     existing reference as the new pre_cell reference instead of the
+//     copy+drop pair, and the old pre_cell's decrement is batched via
+//     node_pool::drop_deferred.
+//  3. Software prefetch of the hop-after-next while the current hop's
+//     validation retires.
+//  4. Batched scan hops (trivially-copyable payloads only): scan()
+//     crosses up to kScanBatch cells per protect by walking the chain
+//     with plain loads, snapshotting each payload seqlock-style, and
+//     validating the whole segment with one incarnation sweep before
+//     any snapshot is surfaced (batch_hop below). Any mismatch discards
+//     the batch and falls back to the per-cell hop.
+//
+// Mutators never trust the hint: try_insert/try_delete re-pin the
+// CURRENT aux via protect(pre_cell->next) — the swing's CAS-expected
+// target still detects staleness, exactly as in Figs. 9-10.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <memory>
+#include <type_traits>
 #include <utility>
 
 #include "lfll/core/node.hpp"
 #include "lfll/memory/node_pool.hpp"
 #include "lfll/memory/policy.hpp"
 #include "lfll/primitives/instrument.hpp"
+
+// Marks the seqlock-style racy payload copy in batch_hop: it may race
+// with construct_cell on a recycled node, and the incarnation sweep
+// discards the bytes whenever that can have happened. This is the
+// standard validated-optimistic-read idiom; instrumenting it would only
+// make TSan report the race the validation exists to mask.
+#if defined(__SANITIZE_THREAD__)
+#define LFLL_NO_TSAN __attribute__((no_sanitize("thread")))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LFLL_NO_TSAN __attribute__((no_sanitize("thread")))
+#else
+#define LFLL_NO_TSAN
+#endif
+#else
+#define LFLL_NO_TSAN
+#endif
 
 namespace lfll {
 
@@ -91,12 +142,17 @@ public:
     valois_list& operator=(const valois_list&) = delete;
 
     /// A cursor is the paper's (pre_cell, pre_aux, target) triple. It
-    /// holds one traversal reference on each non-null pointer and keeps a
+    /// holds one traversal reference on pre_cell and target and keeps a
     /// policy guard engaged for its whole attached lifetime, so the nodes
     /// it points at — even deleted ones — cannot be recycled under it
     /// (counts under refcount/hazard, the pin's grace period under
-    /// epochs). Cursors are thread-local objects: copy them only on the
-    /// owning thread.
+    /// epochs). pre_aux is an UNREFERENCED hint under every policy (the
+    /// traversal fast path's aux elision): reads through it are racy but
+    /// safe — slabs never return to the OS — and every consumer either
+    /// validates it against pre_aux->next == target (update's early-out,
+    /// valid()) or ignores it and re-pins the current aux from the ref'd
+    /// pre_cell (mutators). Cursors are thread-local objects: copy them
+    /// only on the owning thread.
     class cursor {
     public:
         cursor() = default;
@@ -104,7 +160,7 @@ public:
 
         cursor(const cursor& o) : list_(o.list_), guard_(o.guard_) {
             pre_cell_ = copy(o.pre_cell_);
-            pre_aux_ = copy(o.pre_aux_);
+            pre_aux_ = o.pre_aux_;  // hint: no reference to duplicate
             target_ = copy(o.target_);
         }
 
@@ -131,8 +187,7 @@ public:
         void reset() noexcept {
             if (list_ == nullptr) return;
             list_->pool_->drop(pre_cell_);
-            list_->pool_->drop(pre_aux_);
-            list_->pool_->drop(target_);
+            list_->pool_->drop(target_);  // pre_aux_ is a hint: nothing to drop
             pre_cell_ = pre_aux_ = target_ = nullptr;
             guard_.reset();
         }
@@ -192,49 +247,63 @@ public:
         c.list_ = this;
         c.guard_ = pool_->make_guard();
         c.pre_cell_ = pool_->copy(head_);  // root pointer never changes
-        c.pre_aux_ = pool_->protect(head_->next);
+        c.pre_aux_ = nullptr;
         c.target_ = nullptr;
-        update(c);
+        reposition(c);
     }
 
     /// Fig. 7: advances c one position. Returns false at end-of-list.
+    /// Steady state under a counting policy is the fast path: one
+    /// protect (on the next cell), the aux elided, the old pre_cell's
+    /// decrement deferred — ~1 critical RMW instead of the literal ~6.
     bool next(cursor& c) {
         assert(c.list_ == this && c.target_ != nullptr);
         if (c.target_->is_tail()) return false;
-        pool_->drop(c.pre_cell_);
-        c.pre_cell_ = pool_->copy(c.target_);
-        pool_->drop(c.pre_aux_);
-        c.pre_aux_ = pool_->protect(c.target_->next);
-        update(c);
+        auto& ctr = instrument::tls();
+        ctr.traverse_hops++;
+        if constexpr (pool_type::counts_traversal) {
+            node* aux = nullptr;
+            if (node* n = hop_over_aux(c.target_, aux)) {
+                ctr.traverse_fast_hops++;
+                pool_->drop_deferred(c.pre_cell_);
+                c.pre_cell_ = c.target_;  // hand-over-hand: the reference transfers
+                c.pre_aux_ = aux;
+                c.target_ = n;
+                return true;
+            }
+        }
+        // Slow path (and the whole path under epochs, where protects are
+        // plain loads): step onto the target and re-derive the position.
+        pool_->drop_deferred(c.pre_cell_);
+        c.pre_cell_ = c.target_;  // the target reference transfers too
+        c.target_ = nullptr;
+        reposition(c);
         return true;
     }
 
     /// Fig. 5: makes c valid again, skipping (and best-effort compacting)
     /// auxiliary-node chains. target ends on the next normal cell or Last.
     void update(cursor& c) {
-        assert(c.list_ == this && c.pre_aux_ != nullptr);
+        assert(c.list_ == this && c.pre_cell_ != nullptr);
         testing_hooks::chaos_point(sched::step_kind::revalidate);
-        if (c.pre_aux_->next.load(std::memory_order_acquire) == c.target_ &&
-            c.target_ != nullptr) {
-            return;  // already valid
+        // Early-out anchored at the referenced pre_cell. Its next always
+        // names the current auxiliary node, and that aux is kept live by
+        // the link's own reference — so reading a->next is not a read of
+        // recycled memory. (Checking only the unreferenced pre_aux_ hint
+        // here would be unsound: a recycled hint whose next happens to
+        // equal target would make this early-out fire forever while the
+        // mutators' CASes keep failing — a livelock.) A transient
+        // unlink/recycle between the two loads can still produce one
+        // spurious pass; the next failed CAS routes back here and re-reads.
+        if (c.target_ != nullptr) {
+            node* a = c.pre_cell_->next.load(std::memory_order_acquire);
+            if (a != nullptr && a->is_aux() &&
+                a->next.load(std::memory_order_acquire) == c.target_) {
+                c.pre_aux_ = a;  // refresh the hint while we are here
+                return;          // already valid
+            }
         }
-        auto& ctr = instrument::tls();
-        node* p = c.pre_aux_;  // we inherit the cursor's reference on p
-        node* n = pool_->protect(p->next);
-        pool_->drop(c.target_);
-        c.target_ = nullptr;
-        while (n->is_aux()) {
-            ctr.aux_hops++;
-            // Compact the chain behind pre_cell. Best effort: failure just
-            // means someone else is restructuring here.
-            if (swing(c.pre_cell_->next, p, n)) ctr.aux_compactions++;
-            node* nn = pool_->protect(n->next);
-            pool_->drop(p);
-            p = n;
-            n = nn;
-        }
-        c.pre_aux_ = p;
-        c.target_ = n;
+        reposition(c);
     }
 
     // --- mutation (Figs. 9-10) -------------------------------------------
@@ -271,20 +340,40 @@ public:
             instrument::tls().insert_retries++;
             return false;
         }
-        if (swing(c.pre_aux_->next, c.target_, q)) return true;
-        instrument::tls().insert_retries++;
-        return false;
+        // Re-pin the CURRENT aux after pre_cell: the cursor's pre_aux_ is
+        // an unreferenced hint and must not be CAS'd through. The swing's
+        // expected == target still detects staleness — if pa is not the
+        // aux before target, the CAS fails and the caller update()s.
+        node* pa = pool_->protect(c.pre_cell_->next);
+        if (pa == nullptr || !pa->is_aux()) {  // defensive: see reposition()
+            pool_->drop(pa);
+            instrument::tls().insert_retries++;
+            return false;
+        }
+        const bool won = swing(pa->next, c.target_, q);
+        if (won) c.pre_aux_ = pa;  // refresh the hint: pa->next == q now
+        pool_->drop(pa);
+        if (!won) instrument::tls().insert_retries++;
+        return won;
     }
 
     /// Convenience: retries try_insert (re-validating with update) until
-    /// the value is inserted at the cursor's (current) position.
+    /// the value is inserted at the cursor's (current) position. On
+    /// return the cursor targets the inserted cell — valid by
+    /// construction (the winning swing left pre_aux->next == q), so no
+    /// trailing rescan is needed.
     void insert(cursor& c, T value) {
         node* q = make_cell(std::move(value));
         node* a = make_aux();
         while (!try_insert(c, q, a)) update(c);
-        pool_->unref(q);
         pool_->unref(a);
-        update(c);
+        if constexpr (pool_type::counts_traversal) {
+            pool_->drop(c.target_);
+            c.target_ = q;  // q's alloc reference becomes the cursor's
+        } else {
+            c.target_ = q;  // traversal references are free here
+            pool_->unref(q);  // the list's link holds its own reference
+        }
     }
 
     /// Fig. 10: deletes c's target from the list. Returns false if the
@@ -295,13 +384,19 @@ public:
         node* d = c.target_;
         if (!d->is_cell()) return false;  // cannot delete the dummies
         auto& ctr = instrument::tls();
-        // Unlink d: swing pre_aux's next from d to the aux after d.
+        // Unlink d: swing the aux before d from d to the aux after d. The
+        // aux is re-pinned from the ref'd pre_cell (the cursor's pre_aux_
+        // is an unreferenced hint); the CAS expecting d detects staleness.
         node* n = pool_->protect(d->next);
-        if (!swing(c.pre_aux_->next, d, n)) {
+        node* pa = pool_->protect(c.pre_cell_->next);
+        if (pa == nullptr || !pa->is_aux() || !swing(pa->next, d, n)) {
+            pool_->drop(pa);
             pool_->drop(n);
             ctr.delete_retries++;
             return false;
         }
+        c.pre_aux_ = pa;  // refresh the hint (pa->next == n: cursor invalid, as documented)
+        pool_->drop(pa);
         // Fig. 10 line 6: leave a trail for deleters of adjacent cells.
         // Best effort under deferred policies: if pre_cell was itself
         // retired meanwhile, the trail stays null and retreating deleters
@@ -363,37 +458,72 @@ public:
         c.list_ = this;
         c.guard_ = pool_->make_guard();
         c.pre_cell_ = pool_->copy(start);
-        c.pre_aux_ = pool_->protect(start->next);
+        c.pre_aux_ = nullptr;
         c.target_ = nullptr;
-        update(c);
+        reposition(c);
     }
 
     /// Lightweight read-only traversal: visits each cell's payload in
     /// list order until `visit` returns false. Holds one traversal
     /// reference at a time (the minimum for safety) instead of a full
-    /// cursor triple, making it ~2x cheaper per hop than cursor
-    /// iteration under counting policies — and nearly free under epochs
-    /// — use it for pure lookups; use cursors when the position will be
-    /// mutated. Fully concurrent-safe.
+    /// cursor triple — use it for pure lookups; use cursors when the
+    /// position will be mutated. Under counting policies the steady
+    /// state is the cell-to-cell fast hop (one protect per cell, aux
+    /// elided, departures batched through drop_deferred); under epochs
+    /// every step is already a plain load. Fully concurrent-safe.
     template <typename Visit>
     void scan(Visit&& visit) {
+        auto& ctr = instrument::tls();
         guard g = pool_->make_guard();
         node* p = pool_->protect(head_->next);  // first aux: never null
         for (;;) {
-            node* n = pool_->protect(p->next);
-            pool_->drop(p);
+            node* n = nullptr;
+            // Batched hop: cross up to kScanBatch cells on ONE protect by
+            // snapshotting payloads seqlock-style and validating the whole
+            // segment with an incarnation sweep. Snapshot cells are visited
+            // from the validated copies; the segment's last node arrives
+            // protected and is visited below like any single-step arrival.
+            if constexpr (pool_type::counts_traversal && batch_scannable) {
+                batch_snapshot s;
+                n = batch_hop(p, s);
+                if (n != nullptr) {
+                    const auto crossed = static_cast<std::uint64_t>(s.cells) + 1;
+                    ctr.traverse_hops += crossed;
+                    ctr.traverse_fast_hops += crossed;
+                    pool_->drop_deferred(p);
+                    for (int i = 0; i < s.cells; ++i) {
+                        ctr.cells_traversed++;
+                        if (!visit(*std::launder(reinterpret_cast<const T*>(s.vals[i])))) {
+                            pool_->drop(n);
+                            return;
+                        }
+                    }
+                }
+            }
+            if (n == nullptr) {
+                ctr.traverse_hops++;
+                if constexpr (pool_type::counts_traversal) {
+                    if (p->is_normal()) {  // cell-to-cell: elide the aux between
+                        node* aux_hint = nullptr;
+                        n = hop_over_aux(p, aux_hint);
+                        if (n != nullptr) ctr.traverse_fast_hops++;
+                    }
+                }
+                if (n == nullptr) n = pool_->protect(p->next);  // single step
+                pool_->drop_deferred(p);
+            }
             if (n == nullptr || n->is_tail()) {
                 pool_->drop(n);
                 return;
             }
             if (n->is_cell()) {
-                instrument::tls().cells_traversed++;
+                ctr.cells_traversed++;
                 if (!visit(static_cast<const T&>(n->value()))) {
                     pool_->drop(n);
                     return;
                 }
             } else {
-                instrument::tls().aux_hops++;
+                ctr.aux_hops++;
             }
             p = n;
         }
@@ -412,6 +542,206 @@ public:
     bool empty_slow() const { return size_slow() == 0; }
 
 private:
+    /// Re-derives (pre_aux, target) from the cursor's ref'd pre_cell: the
+    /// Fig. 5 walk, rooted at pre_cell->next instead of the old counted
+    /// pre_aux. Compacts aux chains behind pre_cell as it goes. On exit
+    /// pre_aux is the (unreferenced) hint and target holds a traversal
+    /// reference to the next normal cell or Last.
+    void reposition(cursor& c) {
+        auto& ctr = instrument::tls();
+        pool_->drop(c.target_);
+        c.target_ = nullptr;
+        // pre_cell is ref'd and a cell's next always links an aux (every
+        // cell is flanked by auxes; deleted cells keep their outgoing
+        // next until reclaim), so p is a genuine aux here.
+        node* p = pool_->protect(c.pre_cell_->next);
+        node* n = pool_->protect(p->next);
+        while (n->is_aux()) {
+            ctr.aux_hops++;
+            // Compact the chain behind pre_cell. Best effort: failure just
+            // means someone else is restructuring here.
+            if (swing(c.pre_cell_->next, p, n)) ctr.aux_compactions++;
+            node* nn = pool_->protect(n->next);
+            pool_->drop(p);
+            p = n;
+            n = nn;
+        }
+        c.pre_aux_ = p;
+        pool_->drop_deferred(p);  // demote to hint: the reference is not kept
+        c.target_ = n;
+        if (node* nx = n->next.load(std::memory_order_relaxed)) {
+            __builtin_prefetch(static_cast<const void*>(nx), 0, 1);
+            ctr.traverse_prefetches++;
+        }
+    }
+
+    /// The elided-aux hop: from a node the caller holds a reference on,
+    /// reach the normal cell two links away with ONE protect and no
+    /// reference on the intervening aux. Validation sandwich:
+    ///   1. snapshot aux = from->next and its incarnation;
+    ///   2. protect n = aux->next (the only RMW);
+    ///   3. re-read from->next seq_cst — the location is only written by
+    ///      seq_cst CASes, so this read is current, and equality proves
+    ///      aux was still linked (hence unreclaimed) when the protect
+    ///      landed;
+    ///   4. re-check the incarnation — catches the ABA where aux was
+    ///      recycled and re-linked at the same spot (the re-link
+    ///      happens-after the incarnation bump through the free-list
+    ///      pop chain, so seeing the re-link at (3) forces (4) to see
+    ///      the bump).
+    /// On any failure the speculative reference is dropped (a net-zero
+    /// blind pair on a pool node is always safe: counts are preserved
+    /// across recycle — see ref_count.hpp) and nullptr is returned; the
+    /// caller takes the fully counted slow path. Returns the protected
+    /// next cell and writes the validated aux to `aux_hint`.
+    node* hop_over_aux(node* from, node*& aux_hint) {
+        node* aux = from->next.load(std::memory_order_acquire);
+        if (aux == nullptr || !aux->is_aux()) return nullptr;
+        testing_hooks::chaos_point(sched::step_kind::ref_transfer);
+        const std::uint64_t inc = aux->incarnation.load(std::memory_order_acquire);
+        node* n = pool_->protect(aux->next);
+        if (from->next.load(std::memory_order_seq_cst) != aux ||
+            aux->incarnation.load(std::memory_order_acquire) != inc ||
+            n == nullptr || !n->is_normal()) {
+            pool_->drop(n);
+            return nullptr;
+        }
+        if (node* nx = n->next.load(std::memory_order_relaxed)) {
+            __builtin_prefetch(static_cast<const void*>(nx), 0, 1);
+            instrument::tls().traverse_prefetches++;
+        }
+        aux_hint = aux;
+        return n;
+    }
+
+    /// Payloads eligible for the batched scan hop. Two requirements, both
+    /// load-bearing for soundness (not just performance):
+    ///   * trivially destructible — reclaim's payload teardown writes
+    ///     nothing, so a cell's bytes mutate strictly between incarnation
+    ///     bumps and the seqlock validation window is airtight;
+    ///   * trivially copy-constructible — the snapshot is a plain byte
+    ///     copy, so a torn racy read cannot run user code before the
+    ///     validation sweep discards it.
+    /// (Deliberately NOT is_trivially_copyable: std::pair's user-provided
+    /// operator= fails that check while its copy remains a byte copy.)
+    static constexpr bool batch_scannable =
+        std::is_trivially_destructible_v<T> && std::is_trivially_copy_constructible_v<T>;
+
+    /// Cells crossed per protect by scan()'s batched hop. Chosen so the
+    /// validation arrays stay comfortably on the stack while the one RMW
+    /// amortizes to noise; segments shorter than this (tail, aux chain,
+    /// concurrent restructuring) simply commit a shorter batch.
+    static constexpr int kScanBatch = 8;
+
+    /// One batched-hop attempt: every unreferenced node read through
+    /// (with its incarnation at first touch) plus raw payload snapshots
+    /// of the cells crossed. Nothing here is surfaced until the whole
+    /// set validates.
+    struct batch_snapshot {
+        const node* src[2 * kScanBatch];
+        std::uint64_t inc[2 * kScanBatch];
+        int nsrc = 0;
+        alignas(T) unsigned char vals[kScanBatch][sizeof(T)];
+        int cells = 0;
+
+        void record(const node* n, std::uint64_t i) noexcept {
+            src[nsrc] = n;
+            inc[nsrc] = i;
+            ++nsrc;
+        }
+    };
+
+    /// Seqlock-style racy snapshot of a cell payload (batch_scannable T
+    /// only, so this is a byte copy that runs no user code). May race
+    /// with a concurrent construct_cell on a recycled node; the
+    /// incarnation sweep in batch_hop discards the bytes whenever that
+    /// can have happened, so a torn copy is never observed.
+    LFLL_NO_TSAN static void racy_value_copy(unsigned char* dst, const node* src) noexcept {
+        ::new (static_cast<void*>(dst)) T(*reinterpret_cast<const T*>(src->storage));
+    }
+
+    /// Generalization of hop_over_aux to a whole segment: from a node the
+    /// caller holds a reference on, cross up to kScanBatch cells with ONE
+    /// protect (on the segment's last link) and zero references on the
+    /// nodes between. The walk uses plain loads; soundness comes from the
+    /// validation sweep at the end:
+    ///
+    ///   * `from` is referenced, so the first link read is current.
+    ///   * Every node read through is recorded with its incarnation at
+    ///     first touch. An unchanged incarnation at the sweep proves the
+    ///     node was not reclaimed across the window, hence (a) every read
+    ///     of its fields was a read of unreclaimed memory, and (b) its
+    ///     outgoing link still held the link's counted reference at the
+    ///     instant that link was read (links are released only inside
+    ///     reclaim — node.hpp drop_links), so the successor was alive at
+    ///     that instant. Induction down the chain carries liveness from
+    ///     `from` to the final link, and the protect's own post-RMW
+    ///     revalidation then lands the counted reference exactly as in
+    ///     hop_over_aux.
+    ///   * Payload bytes are copied inside each cell's incarnation window
+    ///     (seqlock reader: incarnation load, copy, acquire fence, sweep
+    ///     re-check), so a validated snapshot equals some live value the
+    ///     cell held during the walk.
+    ///
+    /// On any mismatch the speculative reference is dropped (blind
+    /// net-zero pair: always safe on pool nodes) and nullptr is returned;
+    /// the caller falls back to the per-cell hop. Returns the protected
+    /// segment-end node (a cell or Last) and fills `s` with the validated
+    /// snapshots of the cells crossed before it.
+    node* batch_hop(node* from, batch_snapshot& s) {
+        node* a;  // the aux whose next is read through next
+        if (from->is_aux()) {
+            a = from;  // referenced: no incarnation record needed
+        } else {
+            a = from->next.load(std::memory_order_acquire);
+            if (a == nullptr || !a->is_aux()) return nullptr;
+            s.record(a, a->incarnation.load(std::memory_order_acquire));
+        }
+        for (;;) {
+            node* c = a->next.load(std::memory_order_acquire);
+            if (c == nullptr || !c->is_normal()) return nullptr;  // aux chain: fall back
+            if (!c->is_cell() || s.cells == kScanBatch - 1) {
+                // Tail reached or batch full: protect the last link.
+                return batch_commit(a, s);
+            }
+            const std::uint64_t ic = c->incarnation.load(std::memory_order_acquire);
+            racy_value_copy(s.vals[s.cells], c);
+            s.record(c, ic);
+            node* a2 = c->next.load(std::memory_order_acquire);
+            if (a2 == nullptr || !a2->is_aux()) {
+                // Disorder past c: retract c's record (its snapshot slot
+                // was never committed — s.cells is only bumped below) and
+                // end the segment at c, which arrives protected instead.
+                --s.nsrc;
+                return batch_commit(a, s);
+            }
+            ++s.cells;
+            s.record(a2, a2->incarnation.load(std::memory_order_acquire));
+            a = a2;
+        }
+    }
+
+    /// Protect the segment-end link and run the incarnation sweep.
+    node* batch_commit(node* a, batch_snapshot& s) {
+        // The widest elided window in the engine: everything in `s` was
+        // read without references. A preemption here lets deleters and
+        // the reclaim cascade churn the snapshotted nodes so the sweep's
+        // failure path gets real coverage under the scheduler.
+        testing_hooks::chaos_point(sched::step_kind::ref_transfer);
+        node* res = pool_->protect(a->next);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        bool ok = res != nullptr && res->is_normal();
+        for (int i = 0; ok && i < s.nsrc; ++i) {
+            ok = s.src[i]->incarnation.load(std::memory_order_relaxed) == s.inc[i];
+        }
+        if (!ok) {
+            pool_->drop(res);
+            s.cells = 0;
+            return nullptr;
+        }
+        return res;
+    }
+
     /// The counted-link CAS: swing `loc` from `expected` to `desired`,
     /// transferring reference counts as described in node_pool.hpp. Fails
     /// without attempting the CAS if `desired` has already been retired

@@ -39,6 +39,13 @@ struct alignas(cacheline_size) list_node : Policy::header {
     /// Atomic because best-effort heuristics may read the kind of a node
     /// that is being recycled; such reads only gate retries, never safety.
     std::atomic<node_kind> kind{node_kind::aux};
+    /// Bumped on every reclamation (on_reclaim). The traversal fast path
+    /// reads an aux node without taking a counted reference and uses this
+    /// counter to detect that the node was recycled out from under it:
+    /// snapshot incarnation, re-validate pre_cell->next still points here,
+    /// read through, re-check incarnation. Slabs never return to the OS,
+    /// so a recycled read is stale, never a fault.
+    std::atomic<std::uint64_t> incarnation{0};
 
     alignas(T) unsigned char storage[sizeof(T)];
 
@@ -95,6 +102,8 @@ struct alignas(cacheline_size) list_node : Policy::header {
             value().~T();
         }
         kind.store(node_kind::aux, std::memory_order_release);
+        // Invalidate any unreferenced fast-path snapshot of this node.
+        incarnation.fetch_add(1, std::memory_order_acq_rel);
     }
 };
 

@@ -161,7 +161,7 @@ public:
                 return false;
             }
             if (n->is_aux()) {  // shunt chain from an earlier splice
-                pool_.drop(parent_aux);
+                pool_.drop_deferred(parent_aux);
                 parent_aux = n;
                 continue;
             }
@@ -171,8 +171,8 @@ public:
             }
             tree_node* child =
                 cmp_(key, n->key()) ? pool_.protect(n->next) : pool_.protect(n->right);
-            pool_.drop(parent_aux);
-            pool_.drop(n);
+            pool_.drop_deferred(parent_aux);
+            pool_.drop_deferred(n);
             parent_aux = child;
         }
 
@@ -284,19 +284,27 @@ private:
             }
             if (n->is_aux()) {  // splice shunt chain: follow it
                 ctr.aux_hops++;
-                pool_.drop(a);
+                pool_.drop_deferred(a);
                 a = n;
                 continue;
             }
             ctr.cells_traversed++;
             if (equal(n->key(), key)) {
-                pool_.drop(a);
+                pool_.drop_deferred(a);
                 return n;
             }
             tree_node* child =
                 cmp_(key, n->key()) ? pool_.protect(n->next) : pool_.protect(n->right);
-            pool_.drop(a);
-            pool_.drop(n);
+            // Prefetch the grandchild link while the comparison on the
+            // child retires: tree descent is a dependent-load chain.
+            if (child != nullptr) {
+                if (tree_node* gc = child->next.load(std::memory_order_relaxed)) {
+                    __builtin_prefetch(static_cast<const void*>(gc), 0, 1);
+                    ctr.traverse_prefetches++;
+                }
+            }
+            pool_.drop_deferred(a);
+            pool_.drop_deferred(n);
             a = child;
         }
     }
@@ -308,12 +316,12 @@ private:
         for (;;) {
             tree_node* n = pool_.protect(a->next);
             if (n == nullptr) return a;
-            pool_.drop(a);
+            pool_.drop_deferred(a);
             if (n->is_aux()) {
                 a = n;
             } else {
                 a = pool_.protect(n->next);  // descend left
-                pool_.drop(n);
+                pool_.drop_deferred(n);
             }
         }
     }

@@ -96,6 +96,26 @@
 //    mag_rounds pool ops). Magazines, like slabs, are never freed while
 //    the pool lives, so a stale depot pointer is always dereferenceable.
 //
+// --- Deferred-release batching (traversal fast path) --------------------
+//
+// Traversal hops under counting policies pay one Release per node left
+// behind. drop_deferred() batches those decrements: the pointer is
+// appended to a per-thread buffer (riding in the same registry record as
+// the magazine cache) and the real unref runs at flush. A buffered
+// decrement keeps the count elevated, so deferral can only DELAY
+// reclamation, never enable an early free — safety is by construction.
+// The costs are bounded: at most `release_backlog` nodes per thread
+// linger unreclaimed, and flushes run at the backlog cap, at thread
+// exit, at pool destruction, before alloc grows the arena (so a tiny
+// pool under pressure reclaims its own backlog instead of growing), and
+// at every quiescent audit/drain boundary (audit.hpp flushes first, so
+// the §5 count audits stay exact).
+//
+// Toggle: LFLL_DEFERRED_RELEASE CMake option (compile default), env var
+// (process), set_deferred_release_override() (A/B sweeps), and
+// pool_config::deferred_release per pool; LFLL_RELEASE_BACKLOG sets the
+// per-thread cap (default 64).
+//
 // Node requirements (duck-typed; valois_list::node and the baselines'
 // nodes satisfy them):
 //    derives from Policy::header (provides std::atomic<refct_t> refct)
@@ -162,6 +182,57 @@ inline bool magazine_default() noexcept {
     return env_default;
 }
 
+namespace detail {
+/// Process-wide deferred-release override, mirroring the magazine one.
+inline std::atomic<int>& deferred_release_override_flag() noexcept {
+    static std::atomic<int> v{-1};
+    return v;
+}
+}  // namespace detail
+
+/// Forces the deferred-release default for subsequently constructed pools
+/// (0 = off, 1 = on, -1 = back to the build/env default). Benches use
+/// this for in-process A/B sweeps; existing pools are unaffected.
+inline void set_deferred_release_override(int v) noexcept {
+    detail::deferred_release_override_flag().store(v < 0 ? -1 : (v != 0),
+                                                   std::memory_order_relaxed);
+}
+
+/// Default for pool_config::deferred_release: the LFLL_DEFERRED_RELEASE
+/// CMake option (compile-time), overridden by the LFLL_DEFERRED_RELEASE
+/// env var (0/1), and then by set_deferred_release_override().
+inline bool deferred_release_default() noexcept {
+    const int o =
+        detail::deferred_release_override_flag().load(std::memory_order_relaxed);
+    if (o >= 0) return o != 0;
+    static const bool env_default = [] {
+#if defined(LFLL_DEFERRED_RELEASE) && LFLL_DEFERRED_RELEASE == 0
+        bool on = false;
+#else
+        bool on = true;
+#endif
+        const char* e = std::getenv("LFLL_DEFERRED_RELEASE");
+        if (e != nullptr && e[0] != '\0') on = !(e[0] == '0' || e[0] == 'n' || e[0] == 'N');
+        return on;
+    }();
+    return env_default;
+}
+
+/// Default for pool_config::release_backlog: 64 buffered decrements per
+/// thread, overridden by the LFLL_RELEASE_BACKLOG env var.
+inline std::size_t release_backlog_default() noexcept {
+    static const std::size_t v = [] {
+        std::size_t n = 64;
+        const char* e = std::getenv("LFLL_RELEASE_BACKLOG");
+        if (e != nullptr && e[0] != '\0') {
+            const long parsed = std::strtol(e, nullptr, 10);
+            if (parsed > 0) n = static_cast<std::size_t>(parsed);
+        }
+        return n;
+    }();
+    return v;
+}
+
 /// Construction-time knobs for node_pool.
 struct pool_config {
     std::size_t initial_capacity = 1024;
@@ -170,6 +241,12 @@ struct pool_config {
     /// Node pointers per magazine; 0 = auto (scaled to initial_capacity,
     /// clamped to [8, 64] so small per-bucket pools keep small caches).
     std::size_t mag_rounds = 0;
+    /// -1 = deferred_release_default(), 0 = off, 1 = on. Only counting
+    /// policies buffer; under epochs drop() is free and this is ignored.
+    int deferred_release = -1;
+    /// Buffered decrements per thread before a forced flush; 0 = auto
+    /// (release_backlog_default(), normally 64).
+    std::size_t release_backlog = 0;
 };
 
 template <typename Node, typename Policy = valois_refcount>
@@ -182,6 +259,12 @@ public:
     using domain_type = typename Policy::domain;
     using guard = policy_guard<Policy>;
 
+    /// Whether traversal references hit the count word under this policy.
+    /// Clients gate the counted-traversal fast paths (hand-over-hand ref
+    /// transfer, deferred release) on this: under epochs drop()/copy()
+    /// are free and the fast path would be a pessimization.
+    static constexpr bool counts_traversal = Policy::counted_traversal;
+
     /// Creates a pool with `initial_capacity` pre-allocated nodes. The pool
     /// grows by doubling slabs when exhausted (growth takes a mutex; the
     /// alloc fast path is lock-free).
@@ -192,7 +275,12 @@ public:
         : mag_on_(cfg.magazines < 0 ? magazine_default() : cfg.magazines != 0),
           mag_rounds_(cfg.mag_rounds != 0
                           ? cfg.mag_rounds
-                          : std::clamp<std::size_t>(cfg.initial_capacity / 4, 8, 64)) {
+                          : std::clamp<std::size_t>(cfg.initial_capacity / 4, 8, 64)),
+          dr_on_(policy_counts_traversal &&
+                 (cfg.deferred_release < 0 ? deferred_release_default()
+                                           : cfg.deferred_release != 0)),
+          dr_backlog_(cfg.release_backlog != 0 ? cfg.release_backlog
+                                               : release_backlog_default()) {
         // Health gauges, labelled by policy and shared by every pool under
         // that policy (last-sampled instance wins; see docs/telemetry.md).
         // Resolved once here so the sampling sites are a relaxed store.
@@ -205,6 +293,8 @@ public:
         g_mag_misses_ = &reg.get_counter("lfll_pool_magazine_misses_total", label);
         g_mag_flushes_ = &reg.get_counter("lfll_pool_magazine_flushes_total", label);
         g_mag_depot_ = &reg.get_gauge("lfll_pool_magazine_depot_full", label);
+        g_dr_releases_ = &reg.get_counter("lfll_deferred_releases_total", label);
+        g_dr_flushes_ = &reg.get_counter("lfll_deferred_release_flushes_total", label);
         g_backlog_->set(0);  // registered (and correct) even before any retire
         grow(cfg.initial_capacity == 0 ? 1 : cfg.initial_capacity);
     }
@@ -212,11 +302,14 @@ public:
     /// Flushes anything the policy still has banked back onto the free
     /// list (the reclaim callback touches pool internals, so this must
     /// complete before members die; domain_ is declared last and thus
-    /// destroyed first as a backstop). Magazines are flushed after the
-    /// drain (the drain may land nodes in this thread's magazines) and
-    /// their registry records detached so exiting threads skip the dead
-    /// pool.
+    /// destroyed first as a backstop). Deferred-release buffers flush
+    /// FIRST: a buffered decrement holds the count up, so the retire it
+    /// would trigger hasn't happened yet and the drain would miss it.
+    /// Magazines are flushed after the drain (the drain may land nodes in
+    /// this thread's magazines) and their registry records detached so
+    /// exiting threads skip the dead pool.
     ~node_pool() {
+        flush_all_deferred_releases();
         drain_retired();
         detach_caches();
         assert(domain_.retired_count() == 0 &&
@@ -247,6 +340,17 @@ public:
             }
             Node* q = free_list_read(free_head_);
             if (q == nullptr) {
+                // A deferred-release backlog can hold the only free nodes
+                // of a tiny pool captive; flush our own buffer before
+                // touching the arena.
+                if constexpr (policy_counts_traversal) {
+                    mag_cache* c = this_thread_cache();
+                    if (c->dcount > 0) {
+                        testing_hooks::chaos_point(sched::step_kind::flush);
+                        flush_deferred(*c);
+                        continue;
+                    }
+                }
                 // Reclaim pressure before growing: a deferred policy may
                 // have a long retire cascade banked (e.g. the queue's
                 // dummy chain, which frees strictly one node per pass).
@@ -355,6 +459,77 @@ public:
         }
     }
 
+    /// Drops a traversal reference, batching the decrement into this
+    /// thread's deferred-release buffer when batching is on. The buffered
+    /// entry IS the reference until flush, so deferral can only delay
+    /// reclamation, never cause an early free; the backlog cap bounds how
+    /// many nodes per thread linger. Traversal fast paths use this for
+    /// the node they just hopped off.
+    void drop_deferred(Node* p) {
+        if constexpr (policy_counts_traversal) {
+            if (p == nullptr) return;
+            if (!dr_on_) {
+                unref(p);
+                return;
+            }
+            mag_cache* c = this_thread_cache();
+            if (c->dbuf == nullptr) c->dbuf = std::make_unique<Node*[]>(dr_backlog_);
+            testing_hooks::chaos_point(sched::step_kind::deferred_release);
+            c->dbuf[c->dcount++] = p;
+            instrument::tls().deferred_releases++;
+            if (c->dcount >= dr_backlog_) {
+                testing_hooks::chaos_point(sched::step_kind::flush);
+                flush_deferred(*c);
+            }
+        } else {
+            (void)p;
+        }
+    }
+
+    /// Flushes this thread's deferred-release buffer (runs the real
+    /// decrements, which may cascade reclamation).
+    void flush_deferred_releases() {
+        if constexpr (policy_counts_traversal) {
+            mag_cache* c = this_thread_cache();
+            if (c->dcount > 0) {
+                testing_hooks::chaos_point(sched::step_kind::flush);
+                flush_deferred(*c);
+            }
+        }
+    }
+
+    /// Quiescent: flushes EVERY thread's deferred-release buffer. Audits
+    /// and the destructor run this so buffered decrements cannot mask a
+    /// leak or block retirement. Only meaningful while no other thread is
+    /// mutating the pool.
+    void flush_all_deferred_releases() {
+        if constexpr (policy_counts_traversal) {
+            // Materialize this thread's record BEFORE locking: a flush
+            // cascade can reach mag_free -> this_thread_cache, which must
+            // not take the registry mutex we hold (it is not recursive).
+            (void)this_thread_cache();
+            std::lock_guard lk(mag_registry_mutex());
+            for (mag_cache* c = cache_records_; c != nullptr; c = c->next_record) {
+                flush_deferred(*c);
+            }
+        }
+    }
+
+    /// Whether drop_deferred() actually buffers on this pool.
+    bool deferred_release_enabled() const noexcept { return dr_on_; }
+
+    /// Per-thread buffered-decrement cap.
+    std::size_t release_backlog_cap() const noexcept { return dr_backlog_; }
+
+    /// This thread's currently buffered decrement count (test hook).
+    std::size_t deferred_release_pending() {
+        if constexpr (policy_counts_traversal) {
+            return this_thread_cache()->dcount;
+        } else {
+            return 0;
+        }
+    }
+
     // --- legacy names (paper vocabulary; §5-faithful under the default
     // policy, where every reference is a counted reference) -----------------
 
@@ -430,7 +605,17 @@ public:
     /// to the global free list. Tests and A/B harnesses use it to compare
     /// the raw Fig. 17/18 path; the destructor runs it implicitly.
     void flush_magazines() {
+        // Own record first: reclaim cascades triggered below reach
+        // mag_free -> this_thread_cache, which must not lock the held
+        // registry mutex on a record miss.
+        (void)this_thread_cache();
         std::lock_guard lk(mag_registry_mutex());
+        // Deferred buffers first, in a separate pass: their cascades can
+        // land nodes in this thread's magazines, which the second pass
+        // then flushes regardless of record order.
+        for (mag_cache* c = cache_records_; c != nullptr; c = c->next_record) {
+            flush_deferred(*c);
+        }
         for (mag_cache* c = cache_records_; c != nullptr; c = c->next_record) {
             flush_cache(*c);
         }
@@ -503,6 +688,10 @@ private:
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t flushes = 0;
+        /// Deferred-release buffer: each entry holds one counted reference
+        /// whose decrement is pending. Lazily sized to the backlog cap.
+        std::unique_ptr<Node*[]> dbuf;
+        std::uint32_t dcount = 0;
         node_pool* owner = nullptr;
         mag_cache* next_record = nullptr;
 
@@ -727,10 +916,28 @@ private:
         }
     }
 
+    /// Runs a buffer's pending decrements. No chaos point here: callers
+    /// under mag_registry_mutex() must not yield to a serialized sched
+    /// session (the hot-path call sites annotate instead). The count is
+    /// dropped BEFORE each unref so a hypothetical re-entrant append
+    /// lands after the live region instead of replaying an entry.
+    void flush_deferred(mag_cache& c) {
+        if (c.dcount == 0) return;
+        g_dr_releases_->add(c.dcount);
+        g_dr_flushes_->add(1);
+        instrument::tls().deferred_flushes++;
+        while (c.dcount > 0) {
+            unref(c.dbuf[--c.dcount]);
+        }
+    }
+
     /// Quiescent: returns a cache's nodes to the global free list, its
     /// magazines to the empty depot, and folds its stat tallies. Caller
-    /// holds mag_registry_mutex().
+    /// holds mag_registry_mutex(); the deferred flush's reclaim cascade
+    /// can land nodes back in THIS thread's magazines, which is why the
+    /// pool-wide walkers flush every buffer before flushing magazines.
     void flush_cache(mag_cache& c) {
+        flush_deferred(c);
         for (magazine** slot : {&c.active, &c.prev}) {
             magazine* m = *slot;
             if (m == nullptr) continue;
@@ -767,7 +974,11 @@ private:
     /// this pool (their owning threads delete them at thread exit), and
     /// empty the depot so no node dies inside a magazine.
     void detach_caches() {
+        (void)this_thread_cache();  // see flush_magazines
         std::lock_guard lk(mag_registry_mutex());
+        for (mag_cache* c = cache_records_; c != nullptr; c = c->next_record) {
+            flush_deferred(*c);  // normally empty (dtor flushed already)
+        }
         for (mag_cache* c = cache_records_; c != nullptr;) {
             mag_cache* next = c->next_record;
             flush_cache(*c);
@@ -958,8 +1169,12 @@ private:
     telemetry::counter* g_mag_misses_ = nullptr;
     telemetry::counter* g_mag_flushes_ = nullptr;
     telemetry::gauge* g_mag_depot_ = nullptr;
+    telemetry::counter* g_dr_releases_ = nullptr;
+    telemetry::counter* g_dr_flushes_ = nullptr;
     const bool mag_on_;
     const std::size_t mag_rounds_;
+    const bool dr_on_;
+    const std::size_t dr_backlog_;
     const std::uint64_t pool_id_ = next_policy_domain_id();
     // Contended heads each own a cache line (free_head_ is hammered by the
     // magazine-off path and overflows; the depot heads by magazine

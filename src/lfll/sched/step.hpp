@@ -27,9 +27,12 @@ enum class step_kind : std::uint8_t {
     magazine,        ///< around a magazine/depot exchange
     retire,          ///< before banking a dead node with a deferred policy
     drain,           ///< before a policy drain/scan boundary
+    ref_transfer,    ///< inside the fast hop's elided-aux window (hint load -> validate)
+    deferred_release,///< between enqueuing a decrement and its eventual flush
+    flush,           ///< before draining a deferred-release buffer
 };
 
-inline constexpr int step_kind_count = 12;
+inline constexpr int step_kind_count = 15;
 
 constexpr const char* step_name(step_kind k) noexcept {
     switch (k) {
@@ -45,6 +48,9 @@ constexpr const char* step_name(step_kind k) noexcept {
         case step_kind::magazine:   return "magazine";
         case step_kind::retire:     return "retire";
         case step_kind::drain:      return "drain";
+        case step_kind::ref_transfer:     return "ref_transfer";
+        case step_kind::deferred_release: return "deferred_release";
+        case step_kind::flush:            return "flush";
     }
     return "?";
 }

@@ -17,6 +17,11 @@ op_counters& op_counters::operator+=(const op_counters& o) noexcept {
     cells_traversed += o.cells_traversed;
     nodes_allocated += o.nodes_allocated;
     nodes_reclaimed += o.nodes_reclaimed;
+    traverse_hops += o.traverse_hops;
+    traverse_fast_hops += o.traverse_fast_hops;
+    traverse_prefetches += o.traverse_prefetches;
+    deferred_releases += o.deferred_releases;
+    deferred_flushes += o.deferred_flushes;
     return *this;
 }
 
@@ -33,6 +38,11 @@ op_counters op_counters_tls::read() const noexcept {
     v.cells_traversed = cells_traversed.load();
     v.nodes_allocated = nodes_allocated.load();
     v.nodes_reclaimed = nodes_reclaimed.load();
+    v.traverse_hops = traverse_hops.load();
+    v.traverse_fast_hops = traverse_fast_hops.load();
+    v.traverse_prefetches = traverse_prefetches.load();
+    v.deferred_releases = deferred_releases.load();
+    v.deferred_flushes = deferred_flushes.load();
     return v;
 }
 
@@ -48,6 +58,11 @@ void op_counters_tls::clear() noexcept {
     cells_traversed.clear();
     nodes_allocated.clear();
     nodes_reclaimed.clear();
+    traverse_hops.clear();
+    traverse_fast_hops.clear();
+    traverse_prefetches.clear();
+    deferred_releases.clear();
+    deferred_flushes.clear();
 }
 
 namespace instrument {
@@ -75,6 +90,7 @@ struct tls_slot {
     }
 
     ~tls_slot() {
+        detail::cached = nullptr;  // late tls() calls take the slow path
         auto& r = registry::get();
         std::lock_guard lk(r.mu);
         r.retired += counters.read();
@@ -84,8 +100,12 @@ struct tls_slot {
 
 }  // namespace
 
-op_counters_tls& tls() {
+op_counters_tls& detail::tls_slow() {
     thread_local tls_slot slot;
+    // Post-destruction calls (thread-exit cascades) land here again and
+    // return the dead slot's storage — same benign behavior as before the
+    // cached fast path existed (plain atomic cells; already unregistered).
+    detail::cached = &slot.counters;
     return slot.counters;
 }
 

@@ -61,6 +61,11 @@ struct op_counters {
     std::uint64_t cells_traversed = 0;  ///< normal cells visited by FindFrom
     std::uint64_t nodes_allocated = 0;  ///< pool Alloc calls
     std::uint64_t nodes_reclaimed = 0;  ///< pool Reclaim calls
+    std::uint64_t traverse_hops = 0;       ///< cursor hops (fast or slow)
+    std::uint64_t traverse_fast_hops = 0;  ///< hops that took the elided-aux fast path
+    std::uint64_t traverse_prefetches = 0; ///< next->next software prefetches issued
+    std::uint64_t deferred_releases = 0;   ///< decrements buffered by drop_deferred
+    std::uint64_t deferred_flushes = 0;    ///< deferred-release buffer flushes
 
     op_counters& operator+=(const op_counters& o) noexcept;
 };
@@ -79,6 +84,11 @@ struct op_counters_tls {
     owned_counter_cell cells_traversed;
     owned_counter_cell nodes_allocated;
     owned_counter_cell nodes_reclaimed;
+    owned_counter_cell traverse_hops;
+    owned_counter_cell traverse_fast_hops;
+    owned_counter_cell traverse_prefetches;
+    owned_counter_cell deferred_releases;
+    owned_counter_cell deferred_flushes;
 
     /// Relaxed read of every cell into a plain value.
     op_counters read() const noexcept;
@@ -87,8 +97,23 @@ struct op_counters_tls {
 
 namespace instrument {
 
-/// This thread's counters. Cheap enough to call on hot paths.
-op_counters_tls& tls();
+namespace detail {
+/// Registers this thread's counter slot (out of line; takes the registry
+/// lock once) and primes `cached` for the fast path below.
+op_counters_tls& tls_slow();
+/// Plain trivially-destructible thread_local pointer: unlike the slot
+/// itself it needs no init-guard check, so the steady-state tls() access
+/// compiles to one TLS load + branch. Nulled when the slot is destroyed
+/// at thread exit (late calls fall back to tls_slow).
+inline thread_local op_counters_tls* cached = nullptr;
+}  // namespace detail
+
+/// This thread's counters. Cheap enough to call on hot paths: after the
+/// first call in a thread this is an inline TLS pointer load.
+inline op_counters_tls& tls() {
+    if (op_counters_tls* p = detail::cached) return *p;
+    return detail::tls_slow();
+}
 
 /// Sum of all counters: live threads' current values plus totals from
 /// threads that have exited. Exact when mutators are quiescent; a monotone

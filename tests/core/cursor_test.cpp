@@ -22,10 +22,10 @@ void fill(list_t& list, int lo, int hi) {  // inserts lo..hi in order
     }
 }
 
-/// Folds a cursor's three references into an audit external-reference map.
+/// Folds a cursor's references into an audit external-reference map.
+/// pre_aux is an unreferenced hint (traversal fast path) — not counted.
 void count_refs(std::map<const node_t*, std::size_t>& m, const cursor_t& c) {
     if (c.pre_cell() != nullptr) m[c.pre_cell()]++;
-    if (c.pre_aux() != nullptr) m[c.pre_aux()]++;
     if (c.target() != nullptr) m[c.target()]++;
 }
 
@@ -171,7 +171,10 @@ TEST(Cursor, DestructionReleasesPinnedDeletedCell) {
         // list yet.
         EXPECT_LT(list.pool().free_count(), free_at_start + 2);
     }
-    // All cursors gone: the deleted cell and its aux node are reclaimed.
+    // All cursors gone: after flushing this thread's deferred-release
+    // buffer (traversal drops may still be batched there), the deleted
+    // cell and its aux node are reclaimed.
+    list.pool().flush_deferred_releases();
     EXPECT_EQ(list.pool().free_count(), free_at_start + 2);
     auto r = lfll::audit_list(list);
     EXPECT_TRUE(r.ok) << r.error;

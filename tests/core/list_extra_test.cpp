@@ -78,7 +78,9 @@ TEST(SharedPool, DestroyedListReturnsItsNodes) {
         for (int v : {1, 2, 3, 4, 5}) append(temp, v);
         EXPECT_LT(pool.free_count(), free_before);
     }
-    // temp's dummies, cells, and aux nodes all came home: exact restore.
+    // temp's dummies, cells, and aux nodes all came home: exact restore
+    // (after flushing this thread's batched traversal decrements).
+    pool.flush_deferred_releases();
     EXPECT_EQ(pool.free_count(), free_before);
     auto r = audit_shared(pool, std::vector<valois_list<int>*>{&keeper});
     EXPECT_TRUE(r.ok) << r.error;

@@ -157,6 +157,7 @@ TEST(ListStructure, DeletedNodesReturnToFreeList) {
         list.update(c);
     }
     c.reset();
+    list.pool().flush_deferred_releases();  // traversal drops may be batched
     EXPECT_EQ(list.pool().free_count(), free_before);
 }
 

@@ -10,6 +10,15 @@ trajectory:
 
 Numeric-looking cells are emitted both raw (`"17.9M"`) and decoded
 (`17900000.0`) under `<column>` and `<column>_value`.
+
+Google-benchmark console output (bench_e7_saferead) is recognized in the
+same stream: `BM_*` rows land in a table titled "google-benchmark" with
+time/cpu in nanoseconds, iteration counts, and any UserCounters
+(`items_per_second=34.2M/s` decodes to 34.2e6 under
+`items_per_second_value`). The two formats can be concatenated:
+
+    { LFLL_BENCH_CSV=1 ./bench_e1_vs_locks; ./bench_e7_saferead; } \\
+        | bench_to_json.py bench_traverse > BENCH_traverse.json
 """
 import json
 import re
@@ -18,12 +27,41 @@ import sys
 SI = {"k": 1e3, "M": 1e6, "G": 1e9}
 NUM_RE = re.compile(r"^(-?\d+(?:\.\d+)?)([kMG]?)$")
 
+# One google-benchmark console row:
+#   BM_Name      30357 ns        29887 ns         5800 counter=1.2M/s ...
+GBENCH_RE = re.compile(
+    r"^(BM_\S+)\s+(-?[\d.]+) (\w+)\s+(-?[\d.]+) (\w+)\s+(\d+)(?:\s+(\S.*))?$"
+)
+GBENCH_TITLE = "google-benchmark"
+
 
 def decode(cell):
     m = NUM_RE.match(cell.strip())
     if not m:
         return None
     return float(m.group(1)) * SI.get(m.group(2), 1.0)
+
+
+def gbench_row(m):
+    row = {
+        "benchmark": m.group(1),
+        "time": m.group(2) + " " + m.group(3),
+        "time_value": float(m.group(2)),
+        "time_unit": m.group(3),
+        "cpu": m.group(4) + " " + m.group(5),
+        "cpu_value": float(m.group(4)),
+        "iterations": m.group(6),
+        "iterations_value": float(m.group(6)),
+    }
+    for counter in (m.group(7) or "").split():
+        if "=" not in counter:
+            continue
+        key, val = counter.split("=", 1)
+        row[key] = val
+        value = decode(val[:-2] if val.endswith("/s") else val)
+        if value is not None:
+            row[key + "_value"] = value
+    return row
 
 
 def parse(stream):
@@ -36,7 +74,14 @@ def parse(stream):
             tables.append({"title": banner.group(1), "rows": []})
             headers = None
             continue
-        if not tables or not line.strip():
+        gbench = GBENCH_RE.match(line)
+        if gbench:
+            if not tables or tables[-1]["title"] != GBENCH_TITLE:
+                tables.append({"title": GBENCH_TITLE, "rows": []})
+                headers = None
+            tables[-1]["rows"].append(gbench_row(gbench))
+            continue
+        if not tables or tables[-1]["title"] == GBENCH_TITLE or not line.strip():
             continue
         cells = line.split(",")
         if headers is None:
