@@ -1,0 +1,139 @@
+// E10 — KV service on the split-ordered resizable map.
+//
+// Three views:
+//  1. request-mix sweep: the sharded resizable store under each named
+//     preset (uniform / zipf99 / read_heavy / write_heavy) at the default
+//     client count — throughput, p50/p99, and resize activity per row.
+//  2. growth-under-load: start a deliberately tiny store (8 buckets per
+//     shard, tight max_load) and hammer it with insert-heavy Zipf traffic;
+//     the acceptance row — the directory must grow >= 8x DURING the run
+//     with ops flowing throughout (there is no stop-the-world phase to
+//     hide in: resize is one CAS and lazy dummy inserts, so any pause
+//     would show up as a p99 cliff).
+//  3. fixed vs resizable A/B: the same service harness over hash_map
+//     shards (pre-sized vs under-sized) and split-ordered shards — what
+//     the resize machinery costs when capacity was guessed right, and
+//     what it buys when it was not.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/sharded_kv.hpp"
+#include "lfll/harness/kv_service.hpp"
+
+namespace {
+
+using namespace bench;
+using namespace lfll;
+using lfll::harness::kv_report;
+using lfll::harness::kv_service_config;
+using lfll::harness::request_mix;
+using lfll::harness::run_kv_service;
+
+constexpr std::size_t kShards = 4;
+constexpr int kClients = 4;
+
+using so_store = sharded_kv<split_ordered_map<int, int>>;
+using fixed_store = sharded_kv<hash_map<int, int>>;
+
+so_store make_so_store(const split_ordered_config& cfg) {
+    return make_sharded_kv<int, int>(kShards, cfg);
+}
+
+fixed_store make_fixed_store(std::size_t buckets_per_shard, std::size_t hint) {
+    return fixed_store(kShards, [&](std::size_t) {
+        return std::make_unique<hash_map<int, int>>(buckets_per_shard, hint);
+    });
+}
+
+void add_report_row(table& t, const std::string& name, const std::string& mix,
+                    const kv_report& rep) {
+    t.add_row({name, mix, fmt_si(rep.run.ops_per_sec),
+               fmt_si(rep.latency_ns.p50), fmt_si(rep.latency_ns.p99),
+               std::to_string(rep.buckets_before) + "->" +
+                   std::to_string(rep.buckets_after),
+               std::to_string(rep.grows), fmt_si(static_cast<double>(rep.size_after))});
+}
+
+void sweep_mixes(int millis) {
+    table t({"store", "mix", "ops/s", "p50 ns", "p99 ns", "buckets", "grows", "size"});
+    std::size_t n = 0;
+    const request_mix* presets = request_mix::all(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        split_ordered_config cfg;
+        cfg.initial_buckets = 64;
+        cfg.capacity_hint = 512;
+        so_store store = make_so_store(cfg);
+        kv_service_config sc;
+        sc.clients = kClients;
+        sc.millis = millis;
+        sc.key_range = 1 << 16;
+        sc.mix = presets[i];
+        add_report_row(t, "so-kv", presets[i].name, run_kv_service(store, sc));
+    }
+    emit("E10.1 kv service: request-mix sweep (shards=" + std::to_string(kShards) + ")",
+         t);
+}
+
+void growth_under_load(int millis) {
+    table t({"store", "mix", "ops/s", "p50 ns", "p99 ns", "buckets", "grows", "size"});
+    split_ordered_config cfg;
+    cfg.initial_buckets = 8;  // deliberately undersized: force splits mid-run
+    cfg.capacity_hint = 64;
+    cfg.max_load = 2.0;
+    cfg.resize_check_period = 8;
+    so_store store = make_so_store(cfg);
+    kv_service_config sc;
+    sc.clients = kClients;
+    sc.millis = millis;
+    sc.key_range = 1 << 18;
+    sc.mix = request_mix{"zipf99-grow", {10, 80, 10}, 0.99};
+    const kv_report rep = run_kv_service(store, sc);
+    add_report_row(t, "so-kv-tiny", sc.mix.name, rep);
+    emit("E10.2 growth under load (start 8 buckets/shard)", t);
+    const double factor = rep.growth_factor();
+    std::printf("growth_factor %.1fx (acceptance: >= 8x, ops flowing throughout)%s\n\n",
+                factor, factor >= 8.0 ? "" : "  ** BELOW TARGET **");
+}
+
+void fixed_vs_resizable(int millis) {
+    table t({"store", "mix", "ops/s", "p50 ns", "p99 ns", "buckets", "grows", "size"});
+    kv_service_config sc;
+    sc.clients = kClients;
+    sc.millis = millis;
+    sc.key_range = 1 << 16;
+    sc.mix = request_mix::zipf99();
+    {
+        // Right-sized fixed table: the capacity-was-known best case.
+        fixed_store store = make_fixed_store(256, 64);
+        add_report_row(t, "fixed-256/shard", sc.mix.name, run_kv_service(store, sc));
+    }
+    {
+        // Undersized fixed table: what no-resize costs when the guess is
+        // 32x low — chains go long and stay long.
+        fixed_store store = make_fixed_store(8, 64);
+        add_report_row(t, "fixed-8/shard", sc.mix.name, run_kv_service(store, sc));
+    }
+    {
+        // Resizable, starting from the same bad guess: splits its way out.
+        split_ordered_config cfg;
+        cfg.initial_buckets = 8;
+        cfg.capacity_hint = 64;
+        so_store store = make_so_store(cfg);
+        add_report_row(t, "so-8/shard", sc.mix.name, run_kv_service(store, sc));
+    }
+    emit("E10.3 fixed vs resizable (same client load)", t);
+}
+
+}  // namespace
+
+int main() {
+    bench::telemetry_session session("bench_e10_kv");
+    const int millis = bench_millis(150);
+    sweep_mixes(millis);
+    growth_under_load(millis);
+    fixed_vs_resizable(millis);
+    return 0;
+}

@@ -89,6 +89,46 @@ void skew(std::uint64_t keys, int threads, int millis) {
     emit("E4 key-distribution skew, 256 buckets, " + std::to_string(threads) + " threads", t);
 }
 
+// Fixed slab vs split-ordered resizable, same workload. Two regimes:
+// both tables sized right (the resizable design's overhead: dummy cells
+// on the walk, the directory indirection), and both started at 8 buckets
+// (where "fixed" means long chains forever and "resizable" splits out).
+void fixed_vs_resizable(std::uint64_t keys, int threads, int millis) {
+    const op_mix mix = op_mix::mixed();
+    table t({"structure", "ops/s", "retries/op", "cells/op", "buckets end"});
+    auto run_map = [&](const std::string& name, auto& map) {
+        prefill(map, keys);
+        auto res = run_timed(threads, millis, [&](int tid, std::atomic<bool>& stop) {
+            return dict_worker(map, mix, keys, tid, stop);
+        });
+        t.add_row({name, fmt_si(res.ops_per_sec),
+                   fmt_fixed(res.per_op(res.counters.insert_retries +
+                                        res.counters.delete_retries),
+                             5),
+                   fmt_fixed(res.per_op(res.counters.cells_traversed), 2),
+                   std::to_string(map.bucket_count())});
+    };
+    {
+        hash_map<int, int> map(256, 16);
+        run_map("fixed-256", map);
+    }
+    {
+        split_ordered_map<int, int> map(256, 4096);
+        run_map("so-256", map);
+    }
+    {
+        hash_map<int, int> map(8, 512);
+        run_map("fixed-8", map);
+    }
+    {
+        split_ordered_map<int, int> map(8, 4096);
+        run_map("so-8", map);
+    }
+    emit("E4b fixed vs resizable, " + std::to_string(keys) + " keys, " +
+             std::to_string(threads) + " threads",
+         t);
+}
+
 }  // namespace
 
 int main() {
@@ -97,5 +137,6 @@ int main() {
     sweep_p(4096, millis);
     sweep_buckets(1024, 4, millis);
     skew(4096, 4, millis);
+    fixed_vs_resizable(4096, 4, millis);
     return 0;
 }

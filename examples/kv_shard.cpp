@@ -1,6 +1,8 @@
 // kv_shard: a miniature concurrent key-value store shard built on the
-// lock-free hash table (§4.1), demonstrating the paper's headline
-// property: a stalled thread cannot stall the store.
+// lock-free dictionary (lfll::kv_map — the split-ordered resizable map
+// by default, the fixed §4.1 slab under -DLFLL_FIXED_HASH; both build
+// unchanged here), demonstrating the paper's headline property: a
+// stalled thread cannot stall the store.
 //
 // N worker threads serve a mixed get/put/del workload. One "rogue" thread
 // is repeatedly suspended mid-operation (simulating page faults or
@@ -24,7 +26,10 @@ int main(int argc, char** argv) {
     const double seconds = argc > 2 ? std::atof(argv[2]) : 1.0;
     constexpr std::uint64_t kKeys = 100000;
 
-    lfll::hash_map<int, std::string> store(1024, 128);
+    // Deliberately undersized for ~50k live entries: the resizable map
+    // doubles its way up under load (watch "buckets now" below); the
+    // fixed fallback just runs longer chains.
+    lfll::kv_map<int, std::string> store(64, 128);
     for (std::uint64_t k = 0; k < kKeys; k += 2) {
         store.insert(static_cast<int>(k), "v" + std::to_string(k));
     }
@@ -77,6 +82,7 @@ int main(int argc, char** argv) {
     std::printf("  rogue thread still completed: %llu ops (non-blocking: its stalls hurt "
                 "only itself)\n",
                 (unsigned long long)ops[static_cast<std::size_t>(workers)]);
-    std::printf("  store size now: %zu\n", store.size_slow());
+    std::printf("  store size now: %zu (buckets now: %zu)\n", store.size_slow(),
+                store.bucket_count());
     return 0;
 }

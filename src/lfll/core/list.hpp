@@ -473,9 +473,31 @@ public:
     /// every step is already a plain load. Fully concurrent-safe.
     template <typename Visit>
     void scan(Visit&& visit) {
-        auto& ctr = instrument::tls();
         guard g = pool_->make_guard();
-        node* p = pool_->protect(head_->next);  // first aux: never null
+        scan_loop(pool_->protect(head_->next),  // first aux: never null
+                  std::forward<Visit>(visit));
+    }
+
+    /// As scan(), but starting immediately AFTER `start`, which must be a
+    /// normal cell the caller keeps provably live for the duration (a
+    /// counted link it owns — e.g. a hash bucket's dummy-cell anchor).
+    /// `start` itself is not visited. The split-ordered hash map uses this
+    /// to begin lookups at a bucket shortcut instead of First, keeping the
+    /// batched-superhop fast path for intra-bucket hops.
+    template <typename Visit>
+    void scan_from(node* start, Visit&& visit) {
+        assert(start != nullptr && start->is_normal());
+        guard g = pool_->make_guard();
+        scan_loop(pool_->copy(start), std::forward<Visit>(visit));
+    }
+
+private:
+    /// Shared body of scan()/scan_from(): `p` arrives carrying one
+    /// traversal reference (under counting policies) and the caller's
+    /// guard spans the call.
+    template <typename Visit>
+    void scan_loop(node* p, Visit&& visit) {
+        auto& ctr = instrument::tls();
         for (;;) {
             node* n = nullptr;
             // Batched hop: cross up to kScanBatch cells on ONE protect by
@@ -529,6 +551,7 @@ public:
         }
     }
 
+public:
     /// Number of normal cells currently in the list. O(n); quiescent use.
     std::size_t size_slow() const {
         std::size_t count = 0;

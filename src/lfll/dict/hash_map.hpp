@@ -5,10 +5,16 @@
 //  the operations across the lists, then we would expect the extra work
 //  done to be O(1)." — bench_e4_hash measures exactly that.
 //
-// The bucket count is fixed at construction (the paper has no resize; a
-// lock-free resize is a separate research problem). Each bucket is an
-// independent Valois list with its own node pool, so buckets never contend
-// on allocation either.
+// The bucket count is fixed at construction, as in the paper. Since the
+// split-ordered sibling (split_ordered_map.hpp) landed, that is a CHOICE,
+// not a limitation: this slab remains the compile-time fallback for
+// workloads whose cardinality is known up front — it needs no dummy
+// cells, no default-constructible Key/Value, and each bucket is an
+// independent Valois list with its own node pool, so buckets never
+// contend on allocation either. When the table must grow under load, use
+// split_ordered_map (or the lfll::kv_map alias below, which picks the
+// resizable design unless LFLL_FIXED_HASH is defined); its resize is
+// plain lock-free list operations, not a research problem.
 //
 // Buckets live in one contiguous slab of cache-line-aligned slots: bucket
 // i's hot head state never shares a line with bucket i+1's (no false
@@ -24,6 +30,7 @@
 #include <optional>
 
 #include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/dict/split_ordered_map.hpp"
 #include "lfll/primitives/cacheline.hpp"
 
 namespace lfll {
@@ -33,6 +40,8 @@ template <typename Key, typename Value, typename Hash = std::hash<Key>,
 class hash_map {
 public:
     using policy_type = Policy;
+    using key_type = Key;
+    using mapped_type = Value;
     using bucket_type = sorted_list_map<Key, Value, Compare, Policy>;
 
     /// `buckets` is rounded up to a power of two. `capacity_hint` sizes
@@ -120,5 +129,21 @@ private:
     std::size_t bucket_count_ = 0;
     slot* slab_ = nullptr;
 };
+
+/// Deployment-facing dictionary selector: the resizable split-ordered map
+/// by default, or this fixed slab when LFLL_FIXED_HASH is defined at
+/// compile time (embedded-style builds with a known key population).
+/// Both expose insert/erase/find/contains/for_each/size_slow/bucket_count
+/// with identical semantics, so callers (examples/kv_shard, the KV
+/// harness, the lin-checker shims) build unchanged against either.
+#if defined(LFLL_FIXED_HASH)
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Compare = std::less<Key>, typename Policy = valois_refcount>
+using kv_map = hash_map<Key, Value, Hash, Compare, Policy>;
+#else
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Compare = std::less<Key>, typename Policy = valois_refcount>
+using kv_map = split_ordered_map<Key, Value, Hash, Compare, Policy>;
+#endif
 
 }  // namespace lfll

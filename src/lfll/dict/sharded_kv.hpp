@@ -1,0 +1,106 @@
+// Sharded KV store: N independent dictionaries, routed by the TOP bits
+// of the mixed hash.
+//
+// Sharding buys two things the single split-ordered list cannot:
+//  * Pool isolation. Every shard owns its own node_pool arena (each
+//    valois_list constructs one), so allocation, magazine exchange, and
+//    reclamation never cross shard boundaries — and since the magazine
+//    REGISTRY is now striped by pool id (node_pool.hpp), even the
+//    registry protocol (thread first-use, flushes) stays per-shard. No
+//    cross-shard mutex sits on any alloc/flush path.
+//  * Contention splitting. The split-ordered map's directory CAS and hot
+//    dummy cells are per-shard, so a Zipf hot spot saturates one shard's
+//    cache lines instead of one global structure's.
+//
+// Routing uses the TOP shard_bits of mix64(hash(key)) on purpose: the
+// split-ordered map consumes the LOW bits for bucket selection, so shard
+// and bucket indices are decorrelated even for adversarial key sets.
+//
+// The Map parameter is any dictionary with the shared public API
+// (insert/erase/find/contains/for_each/size_slow) — split_ordered_map,
+// the fixed hash_map, or the kv_map alias; per-map constructor knobs are
+// injected through a factory callable, keeping this header agnostic of
+// either config struct.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lfll/dict/split_ordered_map.hpp"
+
+namespace lfll {
+
+template <typename Map, typename Hash = std::hash<typename Map::key_type>>
+class sharded_kv {
+public:
+    using map_type = Map;
+    using key_type = typename Map::key_type;
+    using mapped_type = typename Map::mapped_type;
+
+    /// `make(shard_index)` builds each shard's map (and thereby its own
+    /// pool). Shard count is rounded up to a power of two.
+    template <typename Factory>
+    explicit sharded_kv(std::size_t shards, Factory&& make, Hash hash = Hash{})
+        : hash_(hash) {
+        std::size_t n = 1;
+        while (n < shards) n <<= 1;
+        unsigned bits = 0;
+        while ((std::size_t{1} << bits) < n) ++bits;
+        shift_ = 64 - bits;  // 64 when n == 1: shard_of() then yields 0
+        shards_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) shards_.push_back(make(i));
+    }
+
+    bool insert(const key_type& key, mapped_type value) {
+        return shard_for(key).insert(key, std::move(value));
+    }
+    bool erase(const key_type& key) { return shard_for(key).erase(key); }
+    std::optional<mapped_type> find(const key_type& key) { return shard_for(key).find(key); }
+    bool contains(const key_type& key) { return shard_for(key).contains(key); }
+
+    template <typename F>
+    void for_each(F&& f) {
+        for (auto& s : shards_) s->for_each(f);
+    }
+
+    std::size_t size_slow() const {
+        std::size_t total = 0;
+        for (const auto& s : shards_) total += s->size_slow();
+        return total;
+    }
+
+    std::size_t shard_count() const noexcept { return shards_.size(); }
+    Map& shard_at(std::size_t i) noexcept { return *shards_[i]; }
+    const Map& shard_at(std::size_t i) const noexcept { return *shards_[i]; }
+
+    std::size_t shard_of(const key_type& key) const {
+        if (shift_ >= 64) return 0;
+        return static_cast<std::size_t>(
+            so_detail::mix64(static_cast<std::uint64_t>(hash_(key))) >> shift_);
+    }
+
+private:
+    Map& shard_for(const key_type& key) { return *shards_[shard_of(key)]; }
+
+    Hash hash_;
+    unsigned shift_ = 64;
+    std::vector<std::unique_ptr<Map>> shards_;
+};
+
+/// The common case: a store of split-ordered shards, every shard built
+/// from the same config.
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Compare = std::less<Key>, typename Policy = valois_refcount>
+sharded_kv<split_ordered_map<Key, Value, Hash, Compare, Policy>, Hash>
+make_sharded_kv(std::size_t shards, const split_ordered_config& cfg = {},
+                Hash hash = Hash{}) {
+    using map_t = split_ordered_map<Key, Value, Hash, Compare, Policy>;
+    return sharded_kv<map_t, Hash>(
+        shards, [&](std::size_t) { return std::make_unique<map_t>(cfg, hash); }, hash);
+}
+
+}  // namespace lfll

@@ -74,4 +74,46 @@ std::uint64_t dict_worker_zipf(Map& m, const op_mix& mix, const zipf_generator& 
     return ops;
 }
 
+/// A complete request shape: an operation mix plus a key distribution
+/// (theta == 0 means uniform; anything else is Zipf with that skew). The
+/// named presets are the YCSB-flavoured vocabulary every bench shares, so
+/// "zipf99" in E4's skew sweep, E10's service report, and a CI smoke row
+/// all mean byte-identical request streams for a given seed.
+struct request_mix {
+    const char* name = "uniform";
+    op_mix ops{};
+    double zipf_theta = 0.0;
+
+    bool zipfian() const noexcept { return zipf_theta > 0.0; }
+
+    /// 50/25/25 over uniform keys (the default dict_worker shape).
+    static request_mix uniform() { return {"uniform", op_mix::mixed(), 0.0}; }
+    /// 50/25/25 over the classic YCSB skew (theta 0.99): hot keys, and
+    /// under a resizable map, continuous growth pressure on a few buckets.
+    static request_mix zipf99() { return {"zipf99", op_mix::mixed(), 0.99}; }
+    /// 90/5/5 uniform — YCSB-B-shaped read-mostly serving.
+    static request_mix read_heavy() { return {"read_heavy", op_mix::read_heavy(), 0.0}; }
+    /// 0/50/50 uniform — churn; exercises resize + reclamation hardest.
+    static request_mix write_heavy() { return {"write_heavy", op_mix::write_only(), 0.0}; }
+
+    static const request_mix* all(std::size_t& count) {
+        static const request_mix presets[] = {uniform(), zipf99(), read_heavy(),
+                                              write_heavy()};
+        count = sizeof(presets) / sizeof(presets[0]);
+        return presets;
+    }
+};
+
+/// Preset-dispatching worker: routes to dict_worker or dict_worker_zipf
+/// so callers write one loop per bench, not one per distribution.
+template <typename Map>
+std::uint64_t dict_worker_mix(Map& m, const request_mix& mix, std::uint64_t key_range,
+                              int thread_id, std::atomic<bool>& stop) {
+    if (mix.zipfian()) {
+        const zipf_generator zipf(key_range, mix.zipf_theta);
+        return dict_worker_zipf(m, mix.ops, zipf, thread_id, stop);
+    }
+    return dict_worker(m, mix.ops, key_range, thread_id, stop);
+}
+
 }  // namespace lfll::harness

@@ -26,8 +26,10 @@
 #include "lfll/adapters/valois_queue.hpp"
 #include "lfll/dict/bst.hpp"
 #include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/sharded_kv.hpp"
 #include "lfll/dict/skip_list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/dict/split_ordered_map.hpp"
 
 // Observability: metrics registry, exporters, flight recorder.
 #include "lfll/telemetry/exporter.hpp"

@@ -62,7 +62,7 @@
 //
 // Thread exit and pool destruction flush residual magazines through a
 // registry (one record per (thread, pool), protocol serialized by a
-// registry mutex): nodes go back to the global free list, magazines to
+// per-pool striped registry mutex): nodes go back to the global free list, magazines to
 // the empty depot. Everything above the global list is therefore an
 // accounting detail: free_count()/for_each_free() aggregate the global
 // list AND every magazine, so quiescent audits see one coherent pool.
@@ -508,7 +508,7 @@ public:
             // cascade can reach mag_free -> this_thread_cache, which must
             // not take the registry mutex we hold (it is not recursive).
             (void)this_thread_cache();
-            std::lock_guard lk(mag_registry_mutex());
+            std::lock_guard lk(registry_mutex());
             for (mag_cache* c = cache_records_; c != nullptr; c = c->next_record) {
                 flush_deferred(*c);
             }
@@ -609,7 +609,7 @@ public:
         // mag_free -> this_thread_cache, which must not lock the held
         // registry mutex on a record miss.
         (void)this_thread_cache();
-        std::lock_guard lk(mag_registry_mutex());
+        std::lock_guard lk(registry_mutex());
         // Deferred buffers first, in a separate pass: their cascades can
         // land nodes in this thread's magazines, which the second pass
         // then flushes regardless of record order.
@@ -673,7 +673,7 @@ private:
 
     /// Per-(thread, pool) magazine cache. Hot fields are owner-only while
     /// the pool lives; owner/next_record are serialized by
-    /// mag_registry_mutex(). hit/miss/flush tallies are folded into the
+    /// registry_mutex(). hit/miss/flush tallies are folded into the
     /// telemetry registry at depot and flush boundaries (single-writer
     /// until a quiescent flush).
     struct mag_cache {
@@ -702,14 +702,28 @@ private:
         }
     };
 
-    /// Registry-protocol lock, shared by every pool of this instantiation:
-    /// thread first-use, thread exit, pool destruction, and explicit
-    /// flushes serialize here (never the hot path). A single mutex keyed
-    /// to the *class* (not the instance) sidesteps the lifetime race of
-    /// locking a mutex inside a pool that is concurrently destructed.
-    static std::mutex& mag_registry_mutex() {
-        static std::mutex m;
-        return m;
+    /// Registry-protocol lock for THIS pool: thread first-use, thread
+    /// exit, pool destruction, and explicit flushes serialize here (never
+    /// the hot path). The lock is picked from a static stripe array keyed
+    /// by pool id, which keeps both properties we need: (a) mutex
+    /// lifetime is static, sidestepping the race of locking a mutex
+    /// inside a pool that is concurrently destructed (the reason this
+    /// used to be one class-wide mutex), and (b) distinct pools — e.g.
+    /// per-shard arenas in a sharded KV store — land on distinct stripes
+    /// with high probability, so one shard's registry protocol (flushes,
+    /// thread churn) no longer serializes every other shard's.
+    std::mutex& registry_mutex() const noexcept {
+        return registry_stripe(pool_id_);
+    }
+
+    static constexpr std::size_t registry_stripe_count = 64;
+
+    /// Stripe lookup, shared by all instantiations on purpose: a record's
+    /// pool id alone must recover the mutex after the pool is gone
+    /// (thread-exit flush), and pool ids are process-unique.
+    static std::mutex& registry_stripe(std::uint64_t pool_id) noexcept {
+        static std::mutex stripes[registry_stripe_count];
+        return stripes[pool_id % registry_stripe_count];
     }
 
     /// Thread-local record table for this instantiation, keyed by pool id
@@ -721,9 +735,11 @@ private:
         mag_cache* cached = nullptr;
 
         ~tl_registry() {
-            std::lock_guard lk(mag_registry_mutex());
+            // One stripe at a time: the record's key IS the pool id, so
+            // the right mutex survives even if the pool itself is gone
+            // (owner nulled by detach_caches).
             for (auto& [id, c] : records) {
-                (void)id;
+                std::lock_guard lk(registry_stripe(id));
                 if (c->owner != nullptr) {
                     c->owner->flush_cache(*c);
                     c->owner->unlink_record(c);
@@ -748,7 +764,7 @@ private:
         if (slot == nullptr) {
             auto* c = new mag_cache{};
             {
-                std::lock_guard lk(mag_registry_mutex());
+                std::lock_guard lk(registry_mutex());
                 c->owner = this;
                 c->next_record = cache_records_;
                 cache_records_ = c;
@@ -887,17 +903,22 @@ private:
     /// bounds cache size, never correctness.
     magazine* new_magazine() {
         std::lock_guard lk(grow_mu_);
-        if (mag_count_ >= mag_chunk_size * mag_max_chunks) return nullptr;
-        const std::size_t chunk_idx = mag_count_ / mag_chunk_size;
+        const std::size_t n = mag_count_.load(std::memory_order_relaxed);
+        if (n >= mag_chunk_size * mag_max_chunks) return nullptr;
+        const std::size_t chunk_idx = n / mag_chunk_size;
         if (mag_chunks_[chunk_idx].load(std::memory_order_relaxed) == nullptr) {
             auto chunk = std::make_unique<magazine[]>(mag_chunk_size);
             mag_chunks_[chunk_idx].store(chunk.get(), std::memory_order_release);
             mag_chunk_owner_.push_back(std::move(chunk));
         }
-        magazine* m = mag_at(static_cast<std::int32_t>(mag_count_));
-        m->index = static_cast<std::int32_t>(mag_count_);
+        magazine* m = mag_at(static_cast<std::int32_t>(n));
+        m->index = static_cast<std::int32_t>(n);
         m->rounds = std::make_unique<Node*[]>(mag_rounds_);
-        ++mag_count_;
+        // Release-publish the slot only after index/rounds are in place:
+        // concurrent for_each_magazine walkers (gauge samplers calling
+        // free_count()) stop at the published count, never at a
+        // half-built slot.
+        mag_count_.store(n + 1, std::memory_order_release);
         return m;
     }
 
@@ -907,17 +928,12 @@ private:
     /// counts are exact only at quiescence.
     template <typename F>
     void for_each_magazine(F&& f) const {
-        for (std::size_t chunk_idx = 0; chunk_idx < mag_max_chunks; ++chunk_idx) {
-            magazine* chunk = mag_chunks_[chunk_idx].load(std::memory_order_acquire);
-            if (chunk == nullptr) break;
-            for (std::size_t i = 0; i < mag_chunk_size; ++i) {
-                if (chunk[i].rounds != nullptr) f(chunk[i]);
-            }
-        }
+        const std::size_t n = mag_count_.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i) f(*mag_at(static_cast<std::int32_t>(i)));
     }
 
     /// Runs a buffer's pending decrements. No chaos point here: callers
-    /// under mag_registry_mutex() must not yield to a serialized sched
+    /// under registry_mutex() must not yield to a serialized sched
     /// session (the hot-path call sites annotate instead). The count is
     /// dropped BEFORE each unref so a hypothetical re-entrant append
     /// lands after the live region instead of replaying an entry.
@@ -933,7 +949,7 @@ private:
 
     /// Quiescent: returns a cache's nodes to the global free list, its
     /// magazines to the empty depot, and folds its stat tallies. Caller
-    /// holds mag_registry_mutex(); the deferred flush's reclaim cascade
+    /// holds registry_mutex(); the deferred flush's reclaim cascade
     /// can land nodes back in THIS thread's magazines, which is why the
     /// pool-wide walkers flush every buffer before flushing magazines.
     void flush_cache(mag_cache& c) {
@@ -975,7 +991,7 @@ private:
     /// empty the depot so no node dies inside a magazine.
     void detach_caches() {
         (void)this_thread_cache();  // see flush_magazines
-        std::lock_guard lk(mag_registry_mutex());
+        std::lock_guard lk(registry_mutex());
         for (mag_cache* c = cache_records_; c != nullptr; c = c->next_record) {
             flush_deferred(*c);  // normally empty (dtor flushed already)
         }
@@ -991,7 +1007,7 @@ private:
     }
 
     /// Removes a record from this pool's registry list. Caller holds
-    /// mag_registry_mutex().
+    /// registry_mutex().
     void unlink_record(mag_cache* c) noexcept {
         for (mag_cache** p = &cache_records_; *p != nullptr; p = &(*p)->next_record) {
             if (*p == c) {
@@ -1186,9 +1202,9 @@ private:
     alignas(cacheline_size) std::atomic<std::size_t> capacity_{0};
     alignas(cacheline_size) std::atomic<std::size_t> free_count_{0};
     std::atomic<magazine*> mag_chunks_[mag_max_chunks] = {};
-    std::size_t mag_count_ = 0;                              // under grow_mu_
+    std::atomic<std::size_t> mag_count_{0};  // writers under grow_mu_; release-published
     std::vector<std::unique_ptr<magazine[]>> mag_chunk_owner_;  // under grow_mu_
-    mag_cache* cache_records_ = nullptr;  // under mag_registry_mutex()
+    mag_cache* cache_records_ = nullptr;  // under registry_mutex()
     mutable std::mutex grow_mu_;
     std::vector<slab> slabs_;
     domain_type domain_;  // last member: destroyed first, after ~node_pool's drain

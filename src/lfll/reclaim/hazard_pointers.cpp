@@ -114,20 +114,30 @@ void hazard_domain::retire_with(int group, void* p, void (*fn)(void*, void*), vo
 
 void hazard_domain::retire_impl(int group, retired_node r) {
     auto& g = groups_[group];
-    g.retired.push_back(r);
+    bool threshold;
+    {
+        std::lock_guard lk(g.mu);
+        g.retired.push_back(r);
+        threshold = g.retired.size() >= scan_threshold_;
+    }
     const std::size_t total = retired_total_.fetch_add(1, std::memory_order_relaxed) + 1;
     backlog_gauge().set(static_cast<std::int64_t>(total));
-    if (g.retired.size() >= scan_threshold_) scan(g);
+    if (threshold) scan(g);
 }
 
 std::size_t hazard_domain::scan(slot_group& g) {
     // Callbacks may retire further nodes into this very group (a pool
     // reclamation drops the node's links, which can take other counts to
-    // zero). Latch against recursive scans and move the work list out so
-    // such retires land in a fresh vector instead of invalidating our
-    // iteration; anything new is picked up by a later scan.
-    if (g.scanning) return 0;
-    g.scanning = true;
+    // zero). Latch against recursive and concurrent scans and move the
+    // work list out so such retires land in a fresh vector instead of
+    // invalidating our iteration; anything new is picked up by a later
+    // scan. g.mu is held only around the vector moves, never across the
+    // callbacks — a callback's cascaded retire_impl takes it again.
+    {
+        std::lock_guard lk(g.mu);
+        if (g.scanning) return 0;
+        g.scanning = true;
+    }
     LFLL_TRACE_PHASE(telemetry::trace_phase::reclaim);
     LFLL_TRACE_SPAN(telemetry::trace_op::scan, 0);
     std::size_t total_freed = 0;
@@ -140,7 +150,10 @@ std::size_t hazard_domain::scan(slot_group& g) {
     // round's callbacks banked.
     for (;;) {
         work.clear();
-        work.swap(g.retired);
+        {
+            std::lock_guard lk(g.mu);
+            work.swap(g.retired);
+        }
         if (work.empty()) break;
 
         hazards.clear();
@@ -175,7 +188,10 @@ std::size_t hazard_domain::scan(slot_group& g) {
                 ++freed;
             }
         }
-        g.retired.insert(g.retired.end(), keep.begin(), keep.end());
+        {
+            std::lock_guard lk(g.mu);
+            g.retired.insert(g.retired.end(), keep.begin(), keep.end());
+        }
         total_freed += freed;
         if (freed == 0) break;
     }
@@ -184,7 +200,10 @@ std::size_t hazard_domain::scan(slot_group& g) {
         backlog_gauge().set(
             static_cast<std::int64_t>(retired_total_.load(std::memory_order_relaxed)));
     }
-    g.scanning = false;
+    {
+        std::lock_guard lk(g.mu);
+        g.scanning = false;
+    }
     return total_freed;
 }
 
@@ -197,9 +216,10 @@ void hazard_domain::drain() {
     // loop.
     for (;;) {
         std::size_t freed = 0;
-        for (auto& g : groups_) {
-            if (!g.retired.empty()) freed += scan(g);
-        }
+        // Scan unconditionally: peeking at g.retired without the lock
+        // would race the owner's push, and a scan of an empty group is
+        // just the latch round-trip.
+        for (auto& g : groups_) freed += scan(g);
         if (freed == 0 || retired_count() == 0) break;
     }
 }

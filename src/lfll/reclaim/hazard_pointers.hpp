@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "lfll/primitives/cacheline.hpp"
@@ -123,8 +124,14 @@ private:
 
     struct alignas(cacheline_size) slot_group {
         std::atomic<void*> hp[slots_per_thread];
-        std::vector<retired_node> retired;  // owned by the group holder
-        bool scanning = false;              // owner-thread reentrancy latch
+        /// Guards `retired` and `scanning`. The group holder is the only
+        /// pusher, but drain() sweeps *all* groups from whatever thread
+        /// calls it (the pool's alloc path drains on exhaustion), so the
+        /// list is not single-writer. Critical sections hold mu only for
+        /// vector moves — never across reclaim callbacks.
+        std::mutex mu;
+        std::vector<retired_node> retired;  // guarded by mu
+        bool scanning = false;              // one-scanner-per-group latch, guarded by mu
         std::atomic<int> next_free{-1};     // slot-group free list link
     };
 

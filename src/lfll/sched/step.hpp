@@ -30,9 +30,11 @@ enum class step_kind : std::uint8_t {
     ref_transfer,    ///< inside the fast hop's elided-aux window (hint load -> validate)
     deferred_release,///< between enqueuing a decrement and its eventual flush
     flush,           ///< before draining a deferred-release buffer
+    resize,          ///< inside a hash-table split window (directory grow,
+                     ///< lazy dummy insert, bucket-slot publish)
 };
 
-inline constexpr int step_kind_count = 15;
+inline constexpr int step_kind_count = 16;
 
 constexpr const char* step_name(step_kind k) noexcept {
     switch (k) {
@@ -51,6 +53,7 @@ constexpr const char* step_name(step_kind k) noexcept {
         case step_kind::ref_transfer:     return "ref_transfer";
         case step_kind::deferred_release: return "deferred_release";
         case step_kind::flush:            return "flush";
+        case step_kind::resize:           return "resize";
     }
     return "?";
 }

@@ -1,0 +1,261 @@
+// Split-ordered resizable hash map: semantics, lazy splitting, resize
+// under load, and the §5 counted-reference audit — typed over all three
+// memory policies, since bucket dummies and shortcut references must
+// stay sound under counting AND deferred reclamation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lfll/core/audit.hpp"
+#include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/sharded_kv.hpp"
+#include "lfll/dict/split_ordered_map.hpp"
+#include "lfll/reclaim/epoch_policy.hpp"
+#include "lfll/reclaim/hazard_policy.hpp"
+#include "test_scale.hpp"
+
+namespace {
+
+using namespace lfll;
+
+template <typename P>
+using so_map = split_ordered_map<int, int, std::hash<int>, std::less<int>, P>;
+
+/// Audits the map's list with each bucket slot's reference accounted.
+template <typename P>
+void audit_map(so_map<P>& m) {
+    std::map<const typename so_map<P>::node*, std::size_t> external;
+    m.for_each_bucket_slot([&](std::size_t, typename so_map<P>::node* d) {
+        external[d] += 1;
+    });
+    const audit_report r = audit_list(m.list(), external);
+    EXPECT_TRUE(r.ok) << r.error;
+}
+
+template <typename P>
+struct SplitOrderedMap : ::testing::Test {};
+
+using Policies = ::testing::Types<valois_refcount, hazard_policy, epoch_policy>;
+TYPED_TEST_SUITE(SplitOrderedMap, Policies);
+
+TYPED_TEST(SplitOrderedMap, InsertFindErase) {
+    so_map<TypeParam> m(8, 32);
+    EXPECT_TRUE(m.insert(1, 10));
+    EXPECT_TRUE(m.insert(2, 20));
+    EXPECT_FALSE(m.insert(1, 99));  // duplicate rejected
+    EXPECT_EQ(m.find(1), 10);
+    EXPECT_EQ(m.find(2), 20);
+    EXPECT_EQ(m.find(3), std::nullopt);
+    EXPECT_TRUE(m.erase(1));
+    EXPECT_FALSE(m.erase(1));
+    EXPECT_EQ(m.find(1), std::nullopt);
+    EXPECT_EQ(m.size_slow(), 1u);
+    audit_map(m);
+}
+
+TYPED_TEST(SplitOrderedMap, GrowsUnderInsertLoad) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 2;
+    cfg.max_load = 2.0;
+    cfg.resize_check_period = 1;  // deterministic: check every update
+    so_map<TypeParam> m(cfg);
+    const int n = 1000;
+    for (int k = 0; k < n; ++k) EXPECT_TRUE(m.insert(k, k));
+    // 1000 entries at max_load 2.0 needs >= 512 buckets: 8 doublings
+    // from 2, comfortably past the >= 8x acceptance bar.
+    EXPECT_GE(m.bucket_count(), 512u);
+    EXPECT_GE(m.grow_count(), 8u);
+    EXPECT_EQ(m.size_slow(), static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) EXPECT_EQ(m.find(k), k) << k;
+    audit_map(m);
+}
+
+TYPED_TEST(SplitOrderedMap, EntriesSurviveResizeWithoutMigration) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 2;
+    cfg.max_load = 1.0;
+    cfg.resize_check_period = 1;
+    so_map<TypeParam> m(cfg);
+    // Interleave inserts and lookups of everything inserted so far:
+    // every grow happens with prior entries visible before AND after
+    // (split-ordering never moves an entry, only adds dummies).
+    for (int k = 0; k < 200; ++k) {
+        EXPECT_TRUE(m.insert(k * 7, k));
+        for (int j = 0; j <= k; j += 17) EXPECT_EQ(m.find(j * 7), j);
+    }
+    EXPECT_GT(m.grow_count(), 0u);
+    audit_map(m);
+}
+
+TYPED_TEST(SplitOrderedMap, LazyBucketInitRecursesThroughParents) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 2;
+    cfg.max_load = 1.0;
+    cfg.resize_check_period = 1;
+    so_map<TypeParam> m(cfg);
+    for (int k = 0; k < 300; ++k) m.insert(k, k);
+    // Dummies appear only on first touch, so strictly fewer than the
+    // directory size got initialized, and never more than touched keys.
+    EXPECT_GT(m.dummy_count(), 1u);
+    EXPECT_LE(m.dummy_count(), m.bucket_count());
+    // A cold bucket's first lookup initializes a chain of parents.
+    EXPECT_EQ(m.find(1 << 20), std::nullopt);
+    audit_map(m);
+}
+
+TYPED_TEST(SplitOrderedMap, ShrinkHalvesDirectoryAtLowLoad) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 4;
+    cfg.max_load = 2.0;
+    cfg.min_load = 0.25;
+    cfg.resize_check_period = 1;
+    so_map<TypeParam> m(cfg);
+    for (int k = 0; k < 512; ++k) m.insert(k, k);
+    const std::size_t grown = m.bucket_count();
+    EXPECT_GE(grown, 256u);
+    for (int k = 0; k < 512; ++k) m.erase(k);
+    // Deletions drive the load under min_load; the directory halves
+    // (stale dummies stay in the list — harmless by construction).
+    EXPECT_GT(m.shrink_count(), 0u);
+    EXPECT_LT(m.bucket_count(), grown);
+    EXPECT_GE(m.bucket_count(), m.initial_bucket_count());
+    EXPECT_EQ(m.size_slow(), 0u);
+    audit_map(m);
+}
+
+TYPED_TEST(SplitOrderedMap, HashCollisionsAreDistinctEntries) {
+    struct bad_hash {
+        std::size_t operator()(int) const noexcept { return 42; }  // all collide
+    };
+    split_ordered_map<int, int, bad_hash, std::less<int>, TypeParam> m(8, 32);
+    for (int k = 0; k < 50; ++k) EXPECT_TRUE(m.insert(k, k * 2));
+    for (int k = 0; k < 50; ++k) EXPECT_EQ(m.find(k), k * 2);
+    EXPECT_TRUE(m.erase(25));
+    EXPECT_EQ(m.find(25), std::nullopt);
+    EXPECT_EQ(m.find(24), 48);
+    EXPECT_EQ(m.find(26), 52);
+    EXPECT_EQ(m.size_slow(), 49u);
+}
+
+TYPED_TEST(SplitOrderedMap, ForEachSkipsDummiesAndSeesEverything) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 2;
+    cfg.max_load = 1.0;
+    cfg.resize_check_period = 1;
+    so_map<TypeParam> m(cfg);
+    for (int k = 0; k < 128; ++k) m.insert(k, k + 1);
+    EXPECT_GT(m.dummy_count(), 2u);  // plenty of dummies in the list...
+    std::set<int> seen;
+    m.for_each([&](int k, int v) {
+        EXPECT_EQ(v, k + 1);
+        EXPECT_TRUE(seen.insert(k).second);
+    });
+    EXPECT_EQ(seen.size(), 128u);  // ...none of them visited
+    const so_map<TypeParam>& cm = m;
+    std::size_t n = 0;
+    cm.for_each([&](int, int) { ++n; });
+    EXPECT_EQ(n, 128u);
+}
+
+TYPED_TEST(SplitOrderedMap, ConcurrentMixedLoadWithResize) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 2;
+    cfg.max_load = 2.0;
+    cfg.resize_check_period = 1;
+    so_map<TypeParam> m(cfg);
+    const int threads = 4;
+    const int per = lfll_test::scaled_min(1500, 200);
+    std::vector<std::thread> ts;
+    for (int t = 0; t < threads; ++t) {
+        ts.emplace_back([&, t] {
+            for (int i = 0; i < per; ++i) {
+                const int k = t * per + i;
+                EXPECT_TRUE(m.insert(k, k));
+                if (i % 3 == 0) {
+                    EXPECT_TRUE(m.erase(k));
+                }
+                if (i % 5 == 0) (void)m.find(k / 2);
+            }
+        });
+    }
+    for (auto& th : ts) th.join();
+    std::size_t expect = 0;
+    for (int t = 0; t < threads; ++t)
+        for (int i = 0; i < per; ++i) expect += (i % 3 != 0);
+    EXPECT_EQ(m.size_slow(), expect);
+    EXPECT_EQ(static_cast<std::int64_t>(expect), m.size_approx());
+    EXPECT_GE(m.grow_count(), 3u);
+    m.pool().drain_retired();
+    audit_map(m);
+}
+
+TYPED_TEST(SplitOrderedMap, ShardedStoreRoutesAndAggregates) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 4;
+    auto store =
+        make_sharded_kv<int, int, std::hash<int>, std::less<int>, TypeParam>(4, cfg);
+    EXPECT_EQ(store.shard_count(), 4u);
+    const int n = 500;
+    for (int k = 0; k < n; ++k) EXPECT_TRUE(store.insert(k, k * 3));
+    for (int k = 0; k < n; ++k) EXPECT_EQ(store.find(k), k * 3);
+    EXPECT_EQ(store.size_slow(), static_cast<std::size_t>(n));
+    // Every shard got a share (top-bit routing over a mixed hash).
+    for (std::size_t s = 0; s < store.shard_count(); ++s) {
+        EXPECT_GT(store.shard_at(s).size_slow(), 0u) << "shard " << s;
+    }
+    // Shard pools are genuinely distinct arenas.
+    for (std::size_t s = 1; s < store.shard_count(); ++s) {
+        EXPECT_NE(&store.shard_at(0).pool(), &store.shard_at(s).pool());
+    }
+    std::set<int> seen;
+    store.for_each([&](int k, int) { seen.insert(k); });
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+}
+
+// Non-typed odds and ends.
+
+TEST(SplitOrderedMapMisc, StringValuesAndKvMapAlias) {
+    kv_map<int, std::string> m(4, 16);
+    EXPECT_TRUE(m.insert(7, "seven"));
+    EXPECT_EQ(m.find(7), "seven");
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_FALSE(m.contains(7));
+}
+
+TEST(SplitOrderedMapMisc, BitReversalRoundTripsAndOrders) {
+    using so_detail::bit_reverse;
+    EXPECT_EQ(bit_reverse(bit_reverse(0xdeadbeefcafef00dULL)), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(bit_reverse(0ULL), 0ULL);
+    EXPECT_EQ(bit_reverse(1ULL), 1ULL << 63);
+    // Bucket 0's dummy precedes bucket 1's, which precedes any entry
+    // hashed into bucket 1 (low bit set after reversal).
+    EXPECT_LT(so_detail::so_dummy(0), so_detail::so_dummy(1));
+    EXPECT_LT(so_detail::so_dummy(1), so_detail::so_regular(1));
+}
+
+TEST(SplitOrderedMapMisc, ParentBucketClearsTopBit) {
+    EXPECT_EQ(so_detail::parent_bucket(1), 0u);
+    EXPECT_EQ(so_detail::parent_bucket(5), 1u);
+    EXPECT_EQ(so_detail::parent_bucket(12), 4u);
+    EXPECT_EQ(so_detail::parent_bucket(0x80000001ULL), 1u);
+}
+
+TEST(SplitOrderedMapMisc, DirectoryCapStopsGrowth) {
+    split_ordered_config cfg;
+    cfg.initial_buckets = 2;
+    cfg.max_load = 0.5;
+    cfg.max_buckets = 16;
+    cfg.resize_check_period = 1;
+    split_ordered_map<int, int> m(cfg);
+    for (int k = 0; k < 400; ++k) m.insert(k, k);
+    EXPECT_EQ(m.bucket_count(), 16u);  // capped, still correct
+    for (int k = 0; k < 400; ++k) EXPECT_EQ(m.find(k), k);
+}
+
+}  // namespace

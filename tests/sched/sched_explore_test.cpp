@@ -30,6 +30,7 @@
 #include "lfll/dict/bst.hpp"
 #include "lfll/dict/skip_list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/dict/split_ordered_map.hpp"
 #include "lfll/reclaim/epoch_policy.hpp"
 #include "lfll/reclaim/hazard_policy.hpp"
 #include "lfll/sched/session.hpp"
@@ -151,6 +152,32 @@ struct bst_shim {
     bool contains(int k) { return m.contains(k); }
     audit_report audit() { return audit_report{}; }  // no bst structural audit (yet)
 };
+/// Split-ordered map tuned so splits fire *inside* the schedule: two
+/// initial buckets, max_load 0.5, and a per-op resize check. Every grow
+/// CAS, lazy dummy insert, and bucket-slot publish is a resize chaos
+/// point, so the sweep serializes straight through the split windows.
+template <typename Policy>
+struct so_shim {
+    static split_ordered_config tiny() {
+        split_ordered_config c;
+        c.initial_buckets = 2;
+        c.capacity_hint = 96;
+        c.max_load = 0.5;
+        c.resize_check_period = 1;
+        return c;
+    }
+    split_ordered_map<int, int, std::hash<int>, std::less<int>, Policy> m{tiny()};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+    audit_report audit() {
+        m.pool().drain_retired();
+        std::map<const typename decltype(m)::node*, std::size_t> external;
+        m.for_each_bucket_slot(
+            [&](std::size_t, typename decltype(m)::node* d) { external[d] += 1; });
+        return audit_list(m.list(), external);
+    }
+};
 
 // Acceptance sweep: >= 64 seeds x 3 policies over sorted_list_map
 // (time-boxed under TSan, where each serialized step is ~20x dearer).
@@ -175,6 +202,16 @@ TEST(SchedExplore, SkipListHazard) { sweep_dict<skip_shim<hazard_policy>>(kAudit
 TEST(SchedExplore, SkipListEpoch) { sweep_dict<skip_shim<epoch_policy>>(kAuditSeeds); }
 TEST(SchedExplore, BstHazard) { sweep_dict<bst_shim<hazard_policy>>(kAuditSeeds); }
 TEST(SchedExplore, BstEpoch) { sweep_dict<bst_shim<epoch_policy>>(kAuditSeeds); }
+
+// Resize acceptance sweep: the split-ordered map through the same lin +
+// audit harness, under every policy. The shim's tiny directory means the
+// 3x6 hot-key workload crosses grow CASes and lazy bucket splits
+// mid-schedule, not just in a warm-up phase.
+TEST(SchedExplore, SplitOrderedValoisRefcount) {
+    sweep_dict<so_shim<valois_refcount>>(kDictSeeds);
+}
+TEST(SchedExplore, SplitOrderedHazard) { sweep_dict<so_shim<hazard_policy>>(kDictSeeds); }
+TEST(SchedExplore, SplitOrderedEpoch) { sweep_dict<so_shim<epoch_policy>>(kDictSeeds); }
 
 // ------------------------------------------------------ queue sweep (FIFO)
 
@@ -372,5 +409,108 @@ const int kListSeeds = lfll_test::scaled_min(64, 8);
 TEST(SchedExplore, ListAuditValoisRefcount) { sweep_list<valois_refcount>(kListSeeds); }
 TEST(SchedExplore, ListAuditHazard) { sweep_list<hazard_policy>(kListSeeds); }
 TEST(SchedExplore, ListAuditEpoch) { sweep_list<epoch_policy>(kListSeeds); }
+
+// ------------------------------------- pinned resize / shard-drain windows
+
+/// Exact regression pins for the bucket-split window: fixed seeds whose
+/// schedules preempt between a grow CAS, a lazy dummy insert, and the
+/// bucket-slot publish (all typed resize points). Disjoint per-thread
+/// key ranges force the directory past several doublings mid-schedule;
+/// the kind_count assertion proves a split window was really entered,
+/// and the §5 audit (each published slot accounted as one external
+/// reference) would catch a leaked or double-adopted dummy.
+template <typename Policy>
+void check_split_window(std::uint64_t seed) {
+    so_shim<Policy> shim;
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < 3; ++t) {
+        bodies.push_back([&shim, t] {
+            for (int i = 0; i < 6; ++i) {
+                const int k = 8 * t + i;
+                shim.m.insert(k, k);
+                if (i % 3 == 2) shim.m.erase(k - 1);
+                (void)shim.m.contains(i);  // cold-bucket reads split lazily too
+            }
+        });
+    }
+    sched::run(session_options(seed), std::move(bodies));
+    EXPECT_GT(sched::scheduler::instance().kind_count(sched::step_kind::resize), 0u)
+        << "schedule never entered a split window; " << lin::replay_hint(seed);
+    const audit_report rep = shim.audit();
+    ASSERT_TRUE(rep.ok) << rep.error << "\n" << lin::replay_hint(seed);
+}
+
+TEST(SchedExplore, PinnedSeed_BucketSplitWindowValois) {
+    for (std::uint64_t seed : {3ull, 11ull, 28ull, 64ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_split_window<valois_refcount>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_BucketSplitWindowHazard) {
+    for (std::uint64_t seed : {7ull, 19ull, 42ull, 97ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_split_window<hazard_policy>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_BucketSplitWindowEpoch) {
+    for (std::uint64_t seed : {5ull, 23ull, 51ull, 88ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_split_window<epoch_policy>(seed))
+            << "seed " << seed;
+    }
+}
+
+/// Shard-pool-drain window: two shard maps with *distinct* pools, so
+/// their magazine registries live on different stripes (keyed by pool
+/// id) instead of one class-wide mutex. One shard drains its retired
+/// backlog mid-schedule while the other keeps allocating; a cross-shard
+/// lock dependency would deadlock the serialized session, and a
+/// reference miscount on either arena fails that shard's §5 audit.
+template <typename Policy>
+void check_shard_drain_window(std::uint64_t seed) {
+    so_shim<Policy> shards[2];
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < 3; ++t) {
+        bodies.push_back([&shards, t] {
+            auto& m = shards[t % 2].m;
+            for (int i = 0; i < 5; ++i) {
+                const int k = 16 * t + i;
+                m.insert(k, k);
+                if (i % 2 == 1) m.erase(k);
+            }
+            m.pool().drain_retired();  // mid-schedule, racing the other shard
+        });
+    }
+    sched::run(session_options(seed), std::move(bodies));
+    auto& s = sched::scheduler::instance();
+    EXPECT_GT(s.kind_count(sched::step_kind::magazine), 0u)
+        << "no magazine/depot exchange reached; " << lin::replay_hint(seed);
+    if constexpr (Policy::deferred) {
+        EXPECT_GT(s.kind_count(sched::step_kind::retire), 0u) << lin::replay_hint(seed);
+    }
+    for (auto& sh : shards) {
+        sh.m.pool().flush_magazines();  // quiescent: registry stripe uncontended
+        const audit_report rep = sh.audit();
+        ASSERT_TRUE(rep.ok) << rep.error << "\n" << lin::replay_hint(seed);
+    }
+}
+
+TEST(SchedExplore, PinnedSeed_ShardPoolDrainValois) {
+    for (std::uint64_t seed : {4ull, 13ull, 29ull, 53ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_shard_drain_window<valois_refcount>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_ShardPoolDrainHazard) {
+    for (std::uint64_t seed : {6ull, 17ull, 38ull, 71ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_shard_drain_window<hazard_policy>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_ShardPoolDrainEpoch) {
+    for (std::uint64_t seed : {9ull, 21ull, 44ull, 83ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_shard_drain_window<epoch_policy>(seed))
+            << "seed " << seed;
+    }
+}
 
 }  // namespace
