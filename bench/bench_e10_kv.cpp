@@ -57,8 +57,26 @@ void add_report_row(table& t, const std::string& name, const std::string& mix,
                std::to_string(rep.grows), fmt_si(static_cast<double>(rep.size_after))});
 }
 
+/// E10.4 rows: where a mix's sampled latency actually went, one row per
+/// profiler phase. Share is of the total attributed ns for that mix, so
+/// the column answers "what fraction of the pain is CAS retries vs
+/// traversal vs reclamation" per workload shape.
+void add_phase_rows(table& t, const std::string& mix, const kv_report& rep) {
+    std::uint64_t total_ns = 0;
+    for (const auto& st : rep.phases) total_ns += st.sum_ns;
+    for (const auto& st : rep.phases) {
+        const double share =
+            total_ns == 0 ? 0.0
+                          : 100.0 * static_cast<double>(st.sum_ns) /
+                                static_cast<double>(total_ns);
+        t.add_row({mix, st.phase_name, std::to_string(st.count), fmt_si(st.p50_ns),
+                   fmt_si(st.p99_ns), fmt_fixed(share, 1)});
+    }
+}
+
 void sweep_mixes(int millis) {
     table t({"store", "mix", "ops/s", "p50 ns", "p99 ns", "buckets", "grows", "size"});
+    table phases({"mix", "phase", "samples", "p50 ns", "p99 ns", "share %"});
     std::size_t n = 0;
     const request_mix* presets = request_mix::all(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -71,10 +89,13 @@ void sweep_mixes(int millis) {
         sc.millis = millis;
         sc.key_range = 1 << 16;
         sc.mix = presets[i];
-        add_report_row(t, "so-kv", presets[i].name, run_kv_service(store, sc));
+        const kv_report rep = run_kv_service(store, sc);
+        add_report_row(t, "so-kv", presets[i].name, rep);
+        add_phase_rows(phases, presets[i].name, rep);
     }
     emit("E10.1 kv service: request-mix sweep (shards=" + std::to_string(kShards) + ")",
          t);
+    emit("E10.4 phase attribution per mix (sampled profiler, ns per phase)", phases);
 }
 
 void growth_under_load(int millis) {

@@ -571,6 +571,7 @@ private:
     /// pre_aux is the (unreferenced) hint and target holds a traversal
     /// reference to the next normal cell or Last.
     void reposition(cursor& c) {
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::safe_read);
         auto& ctr = instrument::tls();
         pool_->drop(c.target_);
         c.target_ = nullptr;

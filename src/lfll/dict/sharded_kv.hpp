@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "lfll/dict/split_ordered_map.hpp"
+#include "lfll/telemetry/profiler.hpp"
 
 namespace lfll {
 
@@ -56,11 +57,25 @@ public:
     }
 
     bool insert(const key_type& key, mapped_type value) {
-        return shard_for(key).insert(key, std::move(value));
+        const std::size_t s = shard_of(key);
+        telemetry::prof::note_shard(static_cast<std::int64_t>(s));
+        return shards_[s]->insert(key, std::move(value));
     }
-    bool erase(const key_type& key) { return shard_for(key).erase(key); }
-    std::optional<mapped_type> find(const key_type& key) { return shard_for(key).find(key); }
-    bool contains(const key_type& key) { return shard_for(key).contains(key); }
+    bool erase(const key_type& key) {
+        const std::size_t s = shard_of(key);
+        telemetry::prof::note_shard(static_cast<std::int64_t>(s));
+        return shards_[s]->erase(key);
+    }
+    std::optional<mapped_type> find(const key_type& key) {
+        const std::size_t s = shard_of(key);
+        telemetry::prof::note_shard(static_cast<std::int64_t>(s));
+        return shards_[s]->find(key);
+    }
+    bool contains(const key_type& key) {
+        const std::size_t s = shard_of(key);
+        telemetry::prof::note_shard(static_cast<std::int64_t>(s));
+        return shards_[s]->contains(key);
+    }
 
     template <typename F>
     void for_each(F&& f) {

@@ -16,6 +16,7 @@
 #include "lfll/core/list.hpp"
 #include "lfll/primitives/backoff.hpp"
 #include "lfll/primitives/instrument.hpp"
+#include "lfll/telemetry/profiler.hpp"
 #include "lfll/telemetry/trace.hpp"
 
 namespace lfll {
@@ -56,6 +57,8 @@ public:
     /// already present.
     bool insert(const Key& key, Value value) {
         LFLL_TRACE_SPAN(telemetry::trace_op::insert, telemetry::key_hash(key));
+        telemetry::prof::op_scope prof_op(telemetry::trace_op::insert,
+                                          telemetry::key_hash(key));
         cursor c(list_);
         typename list_type::node* q = nullptr;
         typename list_type::node* a = nullptr;
@@ -77,21 +80,29 @@ public:
                 list_.release_node(a);
                 return true;
             }
-            bo();
-            list_.update(c);
+            {
+                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
+                bo();
+                list_.update(c);
+            }
         }
     }
 
     /// Fig. 13 (Delete): removes the cell with `key`; false if absent.
     bool erase(const Key& key) {
         LFLL_TRACE_SPAN(telemetry::trace_op::erase, telemetry::key_hash(key));
+        telemetry::prof::op_scope prof_op(telemetry::trace_op::erase,
+                                          telemetry::key_hash(key));
         cursor c(list_);
         backoff bo(backoff_cfg_);
         for (;;) {
             if (!find_from(key, c)) return false;
             if (list_.try_delete(c)) return true;
-            bo();
-            list_.update(c);
+            {
+                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
+                bo();
+                list_.update(c);
+            }
         }
     }
 
@@ -102,6 +113,8 @@ public:
     /// lookups never mutate, so the cursor triple would be wasted RMWs.
     std::optional<Value> find(const Key& key) {
         LFLL_TRACE_SPAN(telemetry::trace_op::find, telemetry::key_hash(key));
+        telemetry::prof::op_scope prof_op(telemetry::trace_op::find,
+                                          telemetry::key_hash(key));
         std::optional<Value> out;
         list_.scan([&](const value_type& v) {
             if (cmp_(v.first, key)) return true;                      // keep walking

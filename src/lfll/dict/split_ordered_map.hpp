@@ -60,6 +60,7 @@
 #include "lfll/primitives/instrument.hpp"
 #include "lfll/primitives/test_hooks.hpp"
 #include "lfll/telemetry/metrics.hpp"
+#include "lfll/telemetry/profiler.hpp"
 #include "lfll/telemetry/trace.hpp"
 
 namespace lfll {
@@ -204,6 +205,8 @@ public:
 
     bool insert(const Key& key, Value value) {
         LFLL_TRACE_SPAN(telemetry::trace_op::insert, telemetry::key_hash(key));
+        telemetry::prof::op_scope prof_op(telemetry::trace_op::insert,
+                                          telemetry::key_hash(key));
         const std::uint64_t h = hash_of(key);
         const std::uint64_t so = so_detail::so_regular(h);
         cursor c;
@@ -228,8 +231,11 @@ public:
                 list_.release_node(a);
                 break;
             }
-            bo();
-            list_.update(c);
+            {
+                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
+                bo();
+                list_.update(c);
+            }
         }
         size_add(1);
         maybe_resize();
@@ -238,6 +244,8 @@ public:
 
     bool erase(const Key& key) {
         LFLL_TRACE_SPAN(telemetry::trace_op::erase, telemetry::key_hash(key));
+        telemetry::prof::op_scope prof_op(telemetry::trace_op::erase,
+                                          telemetry::key_hash(key));
         const std::uint64_t h = hash_of(key);
         const std::uint64_t so = so_detail::so_regular(h);
         cursor c;
@@ -248,8 +256,11 @@ public:
             // bucket sentinels are structurally undeletable here.
             if (!find_from_so(so, key, c)) return false;
             if (list_.try_delete(c)) break;
-            bo();
-            list_.update(c);
+            {
+                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
+                bo();
+                list_.update(c);
+            }
         }
         size_add(-1);
         maybe_resize();
@@ -261,6 +272,8 @@ public:
     /// superhop for trivially-copyable entries).
     std::optional<Value> find(const Key& key) {
         LFLL_TRACE_SPAN(telemetry::trace_op::find, telemetry::key_hash(key));
+        telemetry::prof::op_scope prof_op(telemetry::trace_op::find,
+                                          telemetry::key_hash(key));
         const std::uint64_t h = hash_of(key);
         const std::uint64_t so = so_detail::so_regular(h);
         std::optional<Value> out;
@@ -428,6 +441,7 @@ private:
     /// publish the shortcut. Fully lock-free: every step is a plain list
     /// operation or a single CAS, and losers adopt the winner's work.
     node* init_bucket(std::size_t b, slot_type& slot) {
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::bucket_split);
         testing_hooks::chaos_point(sched::step_kind::resize);  // split begins
         cursor c;
         if (b == 0) {

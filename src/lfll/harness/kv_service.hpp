@@ -40,6 +40,7 @@
 #include "lfll/primitives/rng.hpp"
 #include "lfll/primitives/zipf.hpp"
 #include "lfll/telemetry/metrics.hpp"
+#include "lfll/telemetry/profiler.hpp"
 
 namespace lfll::harness {
 
@@ -64,6 +65,10 @@ struct kv_report {
     std::uint64_t shrinks = 0;
     std::uint64_t dummies = 0;       ///< buckets lazily initialized
     std::size_t size_after = 0;      ///< live entries at quiescence
+    /// Sampled-profiler phase attribution over this run: per-phase count,
+    /// total ns, and p50/p99 ns across the sampled requests. Empty when
+    /// the profiler is disabled or nothing was sampled in the window.
+    std::vector<telemetry::prof::phase_stat> phases;
 
     double growth_factor() const {
         return buckets_before == 0 ? 0.0
@@ -173,6 +178,9 @@ kv_report run_kv_service(Store& store, const kv_service_config& cfg) {
     });
 
     const op_mix mix = cfg.mix.ops;
+    // Snapshot the profiler's phase histograms so the report's attribution
+    // covers exactly this run, not whatever ran before it in the process.
+    telemetry::prof::phase_delta prof_delta;
     rep.run = run_timed(cfg.clients, cfg.millis, [&](int tid, std::atomic<bool>& stop) {
         xorshift64 rng(0xABCD0000ULL + static_cast<std::uint64_t>(tid) * 48271);
         latency_sampler lat(sink, cfg.sample_shift);
@@ -212,6 +220,7 @@ kv_report run_kv_service(Store& store, const kv_service_config& cfg) {
     rep.dummies -= dummies0;
     rep.size_after = store.size_slow();
     rep.latency_ns = sink.summarize_ns();
+    rep.phases = prof_delta.stats();
     return rep;
 }
 

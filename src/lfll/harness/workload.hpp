@@ -20,6 +20,7 @@ struct op_mix {
     static op_mix read_heavy() { return {90, 5, 5}; }
     static op_mix mixed() { return {50, 25, 25}; }
     static op_mix write_only() { return {0, 50, 50}; }
+    static op_mix update_heavy() { return {50, 50, 0}; }
 };
 
 /// Fills the map to ~50% occupancy of the key range (every even key), so
@@ -95,10 +96,15 @@ struct request_mix {
     static request_mix read_heavy() { return {"read_heavy", op_mix::read_heavy(), 0.0}; }
     /// 0/50/50 uniform — churn; exercises resize + reclamation hardest.
     static request_mix write_heavy() { return {"write_heavy", op_mix::write_only(), 0.0}; }
+    /// 50/50/0 uniform — YCSB-A-shaped read/update: half the requests
+    /// are writes against mostly-present keys (no erase churn), so CAS
+    /// retries and find-then-fail inserts dominate — the contention
+    /// shape the profiler's cas_retry attribution exists to explain.
+    static request_mix update_heavy() { return {"update_heavy", op_mix::update_heavy(), 0.0}; }
 
     static const request_mix* all(std::size_t& count) {
         static const request_mix presets[] = {uniform(), zipf99(), read_heavy(),
-                                              write_heavy()};
+                                              update_heavy(), write_heavy()};
         count = sizeof(presets) / sizeof(presets[0]);
         return presets;
     }

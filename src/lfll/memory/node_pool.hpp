@@ -142,6 +142,7 @@
 #include "lfll/primitives/instrument.hpp"
 #include "lfll/primitives/test_hooks.hpp"
 #include "lfll/telemetry/metrics.hpp"
+#include "lfll/telemetry/profiler.hpp"
 #include "lfll/telemetry/trace.hpp"
 
 namespace lfll {
@@ -332,6 +333,9 @@ public:
     /// (grows).
     Node* alloc() {
         instrument::tls().nodes_allocated++;
+        // Sampled-op attribution: everything below — magazine hit or
+        // miss, free-list pop, deferred flush, grow — is alloc time.
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::alloc);
         for (;;) {
             if (mag_on_) {
                 // Magazine hit: the cache's counted reference transfers to
@@ -478,6 +482,7 @@ public:
             c->dbuf[c->dcount++] = p;
             instrument::tls().deferred_releases++;
             if (c->dcount >= dr_backlog_) {
+                telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::reclaim);
                 testing_hooks::chaos_point(sched::step_kind::flush);
                 flush_deferred(*c);
             }
@@ -492,6 +497,7 @@ public:
         if constexpr (policy_counts_traversal) {
             mag_cache* c = this_thread_cache();
             if (c->dcount > 0) {
+                telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::reclaim);
                 testing_hooks::chaos_point(sched::step_kind::flush);
                 flush_deferred(*c);
             }
@@ -588,6 +594,7 @@ public:
         if constexpr (Policy::deferred) {
             LFLL_TRACE_PHASE(telemetry::trace_phase::reclaim);
             LFLL_TRACE_SPAN(telemetry::trace_op::drain, 0);
+            telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::reclaim);
             std::size_t prev = domain_.retired_count();
             while (prev > 0) {
                 testing_hooks::chaos_point(sched::step_kind::drain);
@@ -1066,6 +1073,9 @@ private:
         // case on shared structures) is one RMW — no worklist setup.
         testing_hooks::chaos_point(sched::step_kind::release);  // before the decrement
         if (!refct_release(p->refct)) return;
+        // The node died: attribute the cascade (not the mere decrement
+        // above — that is every hop's cost) to the reclaim phase.
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::reclaim);
         Node* inline_stack[32];
         std::size_t top = 0;
         std::vector<Node*> overflow;

@@ -39,6 +39,7 @@
 #include "lfll/memory/ref_count.hpp"
 #include "lfll/primitives/instrument.hpp"
 #include "lfll/primitives/test_hooks.hpp"
+#include "lfll/telemetry/profiler.hpp"
 
 namespace lfll {
 
@@ -153,7 +154,10 @@ struct valois_refcount {
     /// Immediate reclamation: with no grace period to wait out, a node
     /// whose claim was won goes straight back to the pool. (node_pool
     /// short-circuits this for the common path; see unref.)
-    static void retire(domain&, void* p, reclaim_fn fn, void* ctx) { fn(ctx, p); }
+    static void retire(domain&, void* p, reclaim_fn fn, void* ctx) {
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::reclaim);
+        fn(ctx, p);
+    }
 
     /// Paper Fig. 15 (SafeRead): read, blind increment, revalidate; on
     /// revalidation failure the increment may sit on a recycled node and

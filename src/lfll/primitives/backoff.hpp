@@ -11,6 +11,7 @@
 
 #include "lfll/primitives/cacheline.hpp"
 #include "lfll/primitives/rng.hpp"
+#include "lfll/telemetry/profiler.hpp"
 
 namespace lfll {
 
@@ -33,6 +34,7 @@ public:
 
     /// Wait one step and double the bound (saturating at max_spins).
     void operator()() noexcept {
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::backoff);
         if (!cfg_.enabled) {
             cpu_relax();
             return;

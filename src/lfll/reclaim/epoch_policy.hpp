@@ -87,6 +87,7 @@ struct epoch_policy {
     /// deferred drains refill the draining thread's magazines (and the
     /// depot), not the global free list past them.
     static void retire(domain& d, void* p, reclaim_fn fn, void* ctx) {
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::reclaim);
         enter(d);  // transient pin when called outside a guard
         d.ed.client_retire(tls(d).ctx, p, fn, ctx);
         leave(d);

@@ -87,6 +87,7 @@ struct hazard_policy {
     /// refill the scanning thread's magazines (and the depot), not the
     /// global free list past them.
     static void retire(domain& d, void* p, reclaim_fn fn, void* ctx) {
+        telemetry::prof::phase_scope prof_phase(telemetry::prof::phase::reclaim);
         enter(d);  // transient checkout when called outside a guard
         d.hd.retire_with(tls(d).group, p, fn, ctx);
         leave(d);

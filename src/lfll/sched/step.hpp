@@ -32,9 +32,11 @@ enum class step_kind : std::uint8_t {
     flush,           ///< before draining a deferred-release buffer
     resize,          ///< inside a hash-table split window (directory grow,
                      ///< lazy dummy insert, bucket-slot publish)
+    sample,          ///< inside the profiler's sampling/arming decision
+    slow_capture,    ///< inside the slow-op ring's claim -> publish window
 };
 
-inline constexpr int step_kind_count = 16;
+inline constexpr int step_kind_count = 18;
 
 constexpr const char* step_name(step_kind k) noexcept {
     switch (k) {
@@ -54,6 +56,8 @@ constexpr const char* step_name(step_kind k) noexcept {
         case step_kind::deferred_release: return "deferred_release";
         case step_kind::flush:            return "flush";
         case step_kind::resize:           return "resize";
+        case step_kind::sample:           return "sample";
+        case step_kind::slow_capture:     return "slow_capture";
     }
     return "?";
 }

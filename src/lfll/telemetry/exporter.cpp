@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "lfll/telemetry/profiler.hpp"
+
 namespace lfll::telemetry {
 namespace {
 
@@ -163,6 +165,9 @@ void periodic_exporter::stop() {
 }
 
 void periodic_exporter::emit_once() {
+    // Fold the profiler's hot-key sketch into rank-labelled gauges so the
+    // snapshot below carries it in both formats.
+    prof::publish();
     const auto rows = registry::global().snapshot();
     const auto ts_ms = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -170,7 +175,10 @@ void periodic_exporter::emit_once() {
             .count());
 
     if (fmt_ == export_format::jsonl) {
-        const std::string line = render_jsonl(rows, ts_ms);
+        std::string line = render_jsonl(rows, ts_ms);
+        // New slow-op captures ride the same stream as their own lines
+        // ({"slow_op":{...}}); lfll_top skips them, lfll_prof reads them.
+        prof::append_slow_ops_jsonl(line, slow_cursor_);
         if (path_ == "-") {
             std::fwrite(line.data(), 1, line.size(), stdout);
             std::fflush(stdout);

@@ -58,6 +58,9 @@ private:
     export_format fmt_;
     std::string path_;  // "-" = stdout
     std::chrono::milliseconds period_;
+    /// Slow-op ring read position: each tick drains only captures that
+    /// landed since the previous tick (jsonl mode).
+    std::uint64_t slow_cursor_ = 0;
     std::mutex mu_;
     std::condition_variable cv_;
     bool stopping_ = false;

@@ -21,14 +21,17 @@ using harness::run_kv_service;
 TEST(RequestMix, PresetsCoverTheYcsbVocabulary) {
     std::size_t n = 0;
     const request_mix* all = request_mix::all(n);
-    ASSERT_EQ(n, 4u);
+    ASSERT_EQ(n, 5u);
     EXPECT_STREQ(all[0].name, "uniform");
     EXPECT_FALSE(all[0].zipfian());
     EXPECT_STREQ(all[1].name, "zipf99");
     EXPECT_TRUE(all[1].zipfian());
     EXPECT_DOUBLE_EQ(all[1].zipf_theta, 0.99);
     EXPECT_EQ(all[2].ops.find_pct, 90);
-    EXPECT_EQ(all[3].ops.find_pct, 0);
+    EXPECT_STREQ(all[3].name, "update_heavy");  // YCSB-A: 50/50/0, no erase
+    EXPECT_EQ(all[3].ops.find_pct, 50);
+    EXPECT_EQ(all[3].ops.erase_pct, 0);
+    EXPECT_EQ(all[4].ops.find_pct, 0);
     for (std::size_t i = 0; i < n; ++i) {
         EXPECT_EQ(all[i].ops.find_pct + all[i].ops.insert_pct + all[i].ops.erase_pct,
                   100)

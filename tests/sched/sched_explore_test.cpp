@@ -34,6 +34,7 @@
 #include "lfll/reclaim/epoch_policy.hpp"
 #include "lfll/reclaim/hazard_policy.hpp"
 #include "lfll/sched/session.hpp"
+#include "lfll/telemetry/profiler.hpp"
 
 namespace {
 
@@ -509,6 +510,185 @@ TEST(SchedExplore, PinnedSeed_ShardPoolDrainHazard) {
 TEST(SchedExplore, PinnedSeed_ShardPoolDrainEpoch) {
     for (std::uint64_t seed : {9ull, 21ull, 44ull, 83ull}) {
         ASSERT_NO_FATAL_FAILURE(check_shard_drain_window<epoch_policy>(seed))
+            << "seed " << seed;
+    }
+}
+
+// --------------------------- magazine x deferred-release interleavings
+
+/// Magazine exchanges racing buffered decrements: a deliberately cramped
+/// pool (2-round magazines, 2-deep release buffer) so alloc/free crosses
+/// the magazine<->depot boundary every few ops while traversal hops park
+/// decrements in the deferred buffer and forced flushes cascade real
+/// unref()s mid-schedule. Each body also flushes its own buffer inside
+/// the session, interleaving flush cascades with the other threads'
+/// buffered hops. Under epochs drop() is free (the pool ignores the
+/// deferred knob), so only the magazine window is asserted there. The
+/// quiescent §5 audit would catch a decrement lost (or replayed) across
+/// a buffer flush or a node teleported through a stale magazine.
+template <typename Policy>
+struct magdr_shim {
+    using list_t = valois_list<int, Policy>;
+    using pool_t = typename list_t::pool_type;
+    static pool_config cramped() {
+        pool_config c;
+        c.initial_capacity = 24;
+        c.magazines = 1;
+        c.mag_rounds = 2;        // exchange with the depot every 2 nodes
+        c.deferred_release = 1;  // buffer traversal decrements (counting)
+        c.release_backlog = 2;   // forced flush every third buffered drop
+        return c;
+    }
+    pool_t pool{cramped()};
+    list_t list{pool};  // pool declared first: outlives the list
+};
+
+template <typename Policy>
+void check_mag_deferred_window(std::uint64_t seed) {
+    magdr_shim<Policy> shim;
+    auto& list = shim.list;
+    {
+        typename magdr_shim<Policy>::list_t::cursor c(list);
+        for (int v = 5; v >= 0; --v) list.insert(c, v);
+    }
+    constexpr int kThreads = 3;
+    constexpr int kOps = 5;
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < kThreads; ++t) {
+        bodies.push_back([&, t] {
+            std::uint64_t rng =
+                seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(t) * 0x1234567ULL;
+            for (int op = 0; op < kOps; ++op) {
+                typename magdr_shim<Policy>::list_t::cursor c(list);
+                const int hops = static_cast<int>(mix(rng) % 3);
+                for (int h = 0; h < hops && !c.at_end(); ++h) list.next(c);
+                if (mix(rng) % 3 != 0) {
+                    if (!c.at_end() && list.try_delete(c)) list.update(c);
+                } else {
+                    list.insert(c, 100 * (t + 1) + op);
+                }
+                c.reset();
+                // Mid-schedule flush, racing the other threads' buffered
+                // hops and magazine exchanges.
+                if (op == kOps / 2) shim.pool.flush_deferred_releases();
+            }
+        });
+    }
+    sched::run(session_options(seed), std::move(bodies));
+    auto& s = sched::scheduler::instance();
+    EXPECT_GT(s.kind_count(sched::step_kind::magazine), 0u)
+        << "no magazine/depot exchange reached; " << lin::replay_hint(seed);
+    if constexpr (magdr_shim<Policy>::pool_t::counts_traversal) {
+        EXPECT_GT(s.kind_count(sched::step_kind::deferred_release), 0u)
+            << "no decrement was ever buffered; " << lin::replay_hint(seed);
+        EXPECT_GT(s.kind_count(sched::step_kind::flush), 0u)
+            << "no deferred-release flush reached; " << lin::replay_hint(seed);
+    }
+    shim.pool.flush_all_deferred_releases();
+    shim.pool.drain_retired();
+    shim.pool.flush_magazines();
+    const audit_report rep = audit_list(list);
+    ASSERT_TRUE(rep.ok) << rep.error << "\n" << lin::replay_hint(seed);
+}
+
+TEST(SchedExplore, PinnedSeed_MagDeferredWindowValois) {
+    for (std::uint64_t seed : {2ull, 15ull, 33ull, 67ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_mag_deferred_window<valois_refcount>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_MagDeferredWindowHazard) {
+    for (std::uint64_t seed : {8ull, 20ull, 41ull, 76ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_mag_deferred_window<hazard_policy>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_MagDeferredWindowEpoch) {
+    for (std::uint64_t seed : {10ull, 25ull, 47ull, 91ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_mag_deferred_window<epoch_policy>(seed))
+            << "seed " << seed;
+    }
+}
+
+// ---------------------------------------- profiler capture windows
+
+/// Restores the profiler's runtime overrides no matter how the check
+/// exits; -1 falls back to the env/compiled default.
+struct prof_override_guard {
+    prof_override_guard(int enabled, std::int64_t rate, std::int64_t slow_ns) {
+        telemetry::prof::set_enabled_override(enabled);
+        telemetry::prof::set_rate_override(rate);
+        telemetry::prof::set_slow_ns_override(slow_ns);
+    }
+    ~prof_override_guard() {
+        telemetry::prof::set_enabled_override(-1);
+        telemetry::prof::set_rate_override(-1);
+        telemetry::prof::set_slow_ns_override(-1);
+    }
+};
+
+/// Profiler windows under the scheduler: rate 1 arms every map op and a
+/// zero slow threshold routes every sample through the slow-op ring, so
+/// schedules preempt inside the arming decision (`sample`) and inside
+/// the ring's claim->publish window (`slow_capture`) — the seqlock
+/// protocol racing real dictionary traffic rather than the unit test's
+/// synthetic writers. The lin check still runs: a profiler hook that
+/// corrupted an op's result (or tore the shared sketch in a way that
+/// trips TSan/asserts) fails the seed.
+template <typename Policy>
+void check_profiler_window(std::uint64_t seed) {
+    prof_override_guard prof(/*enabled=*/1, /*rate=*/1, /*slow_ns=*/0);
+    flat_shim<Policy> shim;
+    lin::recorder rec;
+    std::vector<std::function<void()>> bodies;
+    for (int t = 0; t < 3; ++t) {
+        bodies.push_back([&, t] {
+            std::uint64_t rng = seed * 0x2545f4914f6cdd1dULL + static_cast<std::uint64_t>(t);
+            for (int i = 0; i < 6; ++i) {
+                const int k = static_cast<int>(mix(rng) % 3);
+                switch (mix(rng) % 3) {
+                    case 0:
+                        rec.record(t, op_kind::insert, k, [&] { return shim.insert(k); });
+                        break;
+                    case 1:
+                        rec.record(t, op_kind::erase, k, [&] { return shim.erase(k); });
+                        break;
+                    default:
+                        rec.record(t, op_kind::contains, k,
+                                   [&] { return shim.contains(k); });
+                        break;
+                }
+            }
+        });
+    }
+    sched::run(session_options(seed), std::move(bodies));
+    auto& s = sched::scheduler::instance();
+    EXPECT_GT(s.kind_count(sched::step_kind::sample), 0u)
+        << "no op ever armed a sample; " << lin::replay_hint(seed);
+    EXPECT_GT(s.kind_count(sched::step_kind::slow_capture), 0u)
+        << "no slow-op capture window entered; " << lin::replay_hint(seed);
+    ASSERT_TRUE(lin::is_linearizable(rec.history))
+        << lin::replay_hint(seed) << "\nhistory:\n"
+        << lin::describe(rec.history);
+    const audit_report rep = shim.audit();
+    ASSERT_TRUE(rep.ok) << rep.error << "\n" << lin::replay_hint(seed);
+}
+
+TEST(SchedExplore, PinnedSeed_ProfilerCaptureValois) {
+    for (std::uint64_t seed : {1ull, 12ull, 30ull, 58ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_profiler_window<valois_refcount>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_ProfilerCaptureHazard) {
+    for (std::uint64_t seed : {14ull, 26ull, 49ull, 80ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_profiler_window<hazard_policy>(seed))
+            << "seed " << seed;
+    }
+}
+TEST(SchedExplore, PinnedSeed_ProfilerCaptureEpoch) {
+    for (std::uint64_t seed : {16ull, 35ull, 62ull, 95ull}) {
+        ASSERT_NO_FATAL_FAILURE(check_profiler_window<epoch_policy>(seed))
             << "seed " << seed;
     }
 }

@@ -106,6 +106,38 @@ bool is_rate_metric(const std::string& key) {
     return ends_with("_total") || ends_with("_count");
 }
 
+/// Profiler panel: folds the rank-labelled hot-key gauges the sampled
+/// profiler publishes (telemetry/profiler.hpp) into one table under the
+/// metric list, so a live view answers "which keys hurt" directly.
+void render_profiler_panel(const snapshot& cur) {
+    const auto get = [&](const std::string& k) -> const double* {
+        const auto it = cur.metrics.find(k);
+        return it == cur.metrics.end() ? nullptr : &it->second;
+    };
+    const double* sampled = get("lfll_prof_sampled_ops_total");
+    if (sampled == nullptr) return;  // profiler not in this stream
+    const double* slow = get("lfll_prof_slow_ops_total");
+    std::printf("\nprofiler: %.0f sampled, %.0f slow\n", *sampled,
+                slow != nullptr ? *slow : 0.0);
+    std::printf("%4s %20s %10s %14s %6s\n", "rank", "key", "hits", "cas_failures",
+                "shard");
+    for (int r = 0;; ++r) {
+        const std::string label = "{rank=\"" + std::to_string(r) + "\"}";
+        const double* key = get("lfll_prof_hot_key" + label);
+        if (key == nullptr) break;
+        if (*key < 0) continue;  // unused rank
+        const double* hits = get("lfll_prof_hot_key_hits" + label);
+        const double* fails = get("lfll_prof_hot_key_cas_failures" + label);
+        const double* shard = get("lfll_prof_hot_key_shard" + label);
+        char shard_s[16] = "-";
+        if (shard != nullptr && *shard >= 0)
+            std::snprintf(shard_s, sizeof shard_s, "%.0f", *shard);
+        std::printf("%4d %20.0f %10.0f %14.0f %6s\n", r, *key,
+                    hits != nullptr ? *hits : 0.0, fails != nullptr ? *fails : 0.0,
+                    shard_s);
+    }
+}
+
 void render(const snapshot& cur, const snapshot* prev, bool ansi) {
     if (ansi) std::fputs("\x1b[H\x1b[2J", stdout);
     std::printf("lfll_top — %zu metrics, ts_ms=%llu\n\n", cur.metrics.size(),
@@ -131,6 +163,7 @@ void render(const snapshot& cur, const snapshot* prev, bool ansi) {
         }
         std::printf("%-64s %16s %12s\n", key.c_str(), val, rate);
     }
+    render_profiler_panel(cur);
     std::fflush(stdout);
 }
 
