@@ -45,6 +45,29 @@ void run_mix(const op_mix& mix, std::uint64_t keys, int millis) {
     emit("E1 list throughput, " + std::to_string(keys) + " keys, mix " + mix_name(mix), t);
 }
 
+// Contention section: the 256-key sweeps above keep every thread on a
+// ~64-cell private stretch of list, so on one hardware core a thread
+// runs its whole CAS window inside a quantum and the retry counters sit
+// at zero — misleadingly suggesting the instrumentation is dead. Eight
+// hot keys and oversubscription (up to 32 threads) force overlapping
+// windows: preemption between a find_from landing and its try_insert /
+// try_delete CAS gets another thread's swing in first, and the
+// retries/op and cas_fail/op columns show real, non-zero contention.
+void run_contention(int millis) {
+    table t({"structure", "threads", "ops/s", "retries/op", "cas_fail/op"});
+    constexpr std::uint64_t keys = 8;
+    const std::vector<int> counts = {4, 8, 16, 32};
+    sweep_threads(
+        t, "valois-lockfree", op_mix::mixed(), keys, millis,
+        [&] { return std::make_unique<sorted_list_map<int, int>>(8 * keys); }, counts);
+    sweep_threads(
+        t, "fine-lockcoupling", op_mix::mixed(), keys, millis,
+        [&] { return std::make_unique<fine_list_map<int, int>>(); }, counts);
+    emit("E1 hot-key contention, " + std::to_string(keys) + " keys, mix " +
+             mix_name(op_mix::mixed()),
+         t);
+}
+
 }  // namespace
 
 int main() {
@@ -52,5 +75,6 @@ int main() {
     const int millis = bench_millis(150);
     run_mix(op_mix::read_heavy(), 256, millis);
     run_mix(op_mix::mixed(), 256, millis);
+    run_contention(millis);
     return 0;
 }

@@ -31,9 +31,13 @@
 
 #include "bench_common.hpp"
 
+#include <string>
+
 #include "lfll/baseline/harris_michael_list.hpp"
 #include "lfll/core/list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/memory/side_arena.hpp"
+#include "lfll/primitives/rng.hpp"
 #include "lfll/reclaim/epoch.hpp"
 #include "lfll/reclaim/epoch_policy.hpp"
 #include "lfll/reclaim/hazard_policy.hpp"
@@ -72,6 +76,113 @@ void BM_ValoisPolicyTraversal(benchmark::State& state) {
 BENCHMARK(BM_ValoisPolicyTraversal<valois_refcount>)->Name("BM_ValoisSafeReadTraversal");
 BENCHMARK(BM_ValoisPolicyTraversal<hazard_policy>)->Name("BM_ValoisHazardTraversal");
 BENCHMARK(BM_ValoisPolicyTraversal<epoch_policy>)->Name("BM_ValoisEpochTraversal");
+
+// The batched seek path (seek_while): the mutator-facing traversal the
+// dictionaries now ride. Under counting policies each batched segment
+// costs ONE protect plus an incarnation sweep instead of per-hop RMWs,
+// so this row is the honest refcount-vs-epoch comparison for seeks —
+// the CI ratio gate (refcount within 1.5x of epoch) keys on it.
+template <typename Policy>
+void BM_ValoisPolicySeek(benchmark::State& state) {
+    auto& map = valois_map<Policy>();
+    using map_t = sorted_list_map<int, int, std::less<int>, Policy>;
+    long sum = 0;
+    for (auto _ : state) {
+        typename map_t::cursor c(map.list());
+        map.list().seek_while(c, [&sum](const auto& kv) {
+            sum += kv.first;
+            return true;
+        });
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_ValoisPolicySeek<valois_refcount>)->Name("BM_ValoisSafeReadSeek");
+BENCHMARK(BM_ValoisPolicySeek<hazard_policy>)->Name("BM_ValoisHazardSeek");
+BENCHMARK(BM_ValoisPolicySeek<epoch_policy>)->Name("BM_ValoisEpochSeek");
+
+// Insert/erase-heavy dictionary mix (20f/40i/40e over a half-full key
+// space): exercises the batched find_from plus the SafeRead-cache
+// re-pin in try_insert/try_delete. Items = operations, not cells.
+template <typename Policy>
+void BM_ValoisPolicyMutatorMix(benchmark::State& state) {
+    using map_t = sorted_list_map<int, int, std::less<int>, Policy>;
+    static map_t* m = [] {
+        auto* map = new map_t(2 * kCells);
+        for (int k = 0; k < kCells; k += 2) map->insert(k, k);
+        return map;
+    }();
+    xorshift64 rng(0xE7E7E7E7ULL);
+    for (auto _ : state) {
+        const int k = static_cast<int>(rng.next_below(kCells));
+        const int pick = static_cast<int>(rng.next_below(100));
+        if (pick < 20) {
+            benchmark::DoNotOptimize(m->find(k));
+        } else if (pick < 60) {
+            m->insert(k, k);
+        } else {
+            m->erase(k);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ValoisPolicyMutatorMix<valois_refcount>)->Name("BM_ValoisSafeReadMutatorMix");
+BENCHMARK(BM_ValoisPolicyMutatorMix<hazard_policy>)->Name("BM_ValoisHazardMutatorMix");
+BENCHMARK(BM_ValoisPolicyMutatorMix<epoch_policy>)->Name("BM_ValoisEpochMutatorMix");
+
+// Side-arena A/B (EXPERIMENTS.md "Side-arena string traversal"): a
+// std::string payload disqualifies the cell from the batched hop (its
+// racy byte copy would run user code on torn bytes), so seeks fall back
+// to per-cell hops. Storing arena_ref<std::string> instead — payloads
+// in an append-only side_arena, a trivially-copyable pointer in the
+// cell — restores batch eligibility; both rows touch the string bytes
+// per cell so the comparison includes the indirection's extra load.
+void BM_ValoisStringSeek(benchmark::State& state) {
+    using map_t = sorted_list_map<int, std::string>;
+    static map_t* m = [] {
+        auto* map = new map_t(2 * kCells);
+        for (int k = 0; k < kCells; ++k)
+            map->insert(k, std::string(48, static_cast<char>('a' + k % 26)));
+        return map;
+    }();
+    long sum = 0;
+    for (auto _ : state) {
+        typename map_t::cursor c(m->list());
+        m->list().seek_while(c, [&sum](const auto& kv) {
+            sum += static_cast<long>(kv.second.size());
+            return true;
+        });
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_ValoisStringSeek);
+
+void BM_ValoisArenaStringSeek(benchmark::State& state) {
+    using map_t = sorted_list_map<int, arena_ref<std::string>>;
+    static side_arena<std::string>* arena = new side_arena<std::string>(kCells);
+    static map_t* m = [] {
+        auto* map = new map_t(2 * kCells);
+        for (int k = 0; k < kCells; ++k)
+            map->insert(k, arena->emplace(std::size_t{48},
+                                          static_cast<char>('a' + k % 26)));
+        return map;
+    }();
+    long sum = 0;
+    for (auto _ : state) {
+        typename map_t::cursor c(m->list());
+        // Dereferencing inside the pred is the point: a validated
+        // snapshot's arena_ref targets stable arena storage, so the
+        // string bytes are readable even if the cell itself recycled.
+        m->list().seek_while(c, [&sum](const auto& kv) {
+            sum += static_cast<long>(kv.second->size());
+            return true;
+        });
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_ValoisArenaStringSeek);
 
 void BM_ValoisRawTraversal(benchmark::State& state) {
     auto& list = valois_map<>().list();

@@ -44,10 +44,26 @@
 //     validating the whole segment with one incarnation sweep before
 //     any snapshot is surfaced (batch_hop below). Any mismatch discards
 //     the batch and falls back to the per-cell hop.
+//  5. Batched MUTATOR seeks (seek_while / batch_seek_step): the same
+//     superhop drives the dictionaries' ordered seeks. The batch
+//     snapshot hands off into the ordinary referenced cursor at the
+//     landing cell — pre_cell and target are upgraded to counted
+//     references (cached_try_ref) and the WHOLE snapshot is re-swept so
+//     the references provably attached to the nodes the snapshot read —
+//     which keeps the Figs. 9-10 CAS windows reference-held exactly as
+//     if the cursor had walked hand-over-hand.
+//  6. A per-thread SafeRead cache (node_pool): cursor teardown and the
+//     aux-hint demotion DONATE their departing references
+//     (drop_to_cache) instead of releasing them; the next operation's
+//     anchor acquisitions (first/seek roots, the mutators' aux re-pin,
+//     the landing upgrade) go through cached_copy/cached_protect/
+//     cached_try_ref, which transfer a parked reference back for zero
+//     RMWs when the hot cell repeats.
 //
 // Mutators never trust the hint: try_insert/try_delete re-pin the
-// CURRENT aux via protect(pre_cell->next) — the swing's CAS-expected
-// target still detects staleness, exactly as in Figs. 9-10.
+// CURRENT aux via cached_protect(pre_cell->next) — the swing's
+// CAS-expected target still detects staleness, exactly as in Figs.
+// 9-10.
 #pragma once
 
 #include <atomic>
@@ -186,8 +202,11 @@ public:
         /// detached.
         void reset() noexcept {
             if (list_ == nullptr) return;
-            list_->pool_->drop(pre_cell_);
-            list_->pool_->drop(target_);  // pre_aux_ is a hint: nothing to drop
+            // Op-boundary anchors: the next operation on this list is
+            // likeliest to revisit exactly these cells, so the departing
+            // references park in the SafeRead cache instead of releasing.
+            list_->pool_->drop_to_cache(pre_cell_);
+            list_->pool_->drop_to_cache(target_);  // pre_aux_ is a hint: nothing to drop
             pre_cell_ = pre_aux_ = target_ = nullptr;
             guard_.reset();
         }
@@ -246,7 +265,7 @@ public:
         c.reset();
         c.list_ = this;
         c.guard_ = pool_->make_guard();
-        c.pre_cell_ = pool_->copy(head_);  // root pointer never changes
+        c.pre_cell_ = pool_->cached_copy(head_);  // root pointer never changes
         c.pre_aux_ = nullptr;
         c.target_ = nullptr;
         reposition(c);
@@ -279,6 +298,32 @@ public:
         c.target_ = nullptr;
         reposition(c);
         return true;
+    }
+
+    /// Ordered seek: advances c while `pred(value)` holds, stopping at
+    /// the first cell whose payload fails the predicate or at
+    /// end-of-list. This is the dictionaries' find loop, lifted into the
+    /// list so the counted fast path can cross up to kScanBatch cells
+    /// per RMW (batch_seek_step): the batch snapshot evaluates the
+    /// predicate on validated payload copies, then hands off into the
+    /// ordinary referenced cursor at the landing cell — the caller's
+    /// subsequent try_insert/try_delete see exactly the hand-over-hand
+    /// triple contract. `pred` must be pure (it may run on snapshot
+    /// copies, several cells ahead of the cursor, and more than once per
+    /// cell).
+    template <typename Pred>
+    void seek_while(cursor& c, Pred&& pred) {
+        assert(c.list_ == this && c.target_ != nullptr);
+        auto& ctr = instrument::tls();
+        for (;;) {
+            if (c.target_->is_tail()) return;
+            ctr.cells_traversed++;
+            if (!pred(static_cast<const T&>(c.target_->value()))) return;
+            if constexpr (pool_type::counts_traversal && batch_scannable) {
+                if (batch_seek_step(c, pred)) continue;
+            }
+            next(c);
+        }
     }
 
     /// Fig. 5: makes c valid again, skipping (and best-effort compacting)
@@ -344,7 +389,9 @@ public:
         // an unreferenced hint and must not be CAS'd through. The swing's
         // expected == target still detects staleness — if pa is not the
         // aux before target, the CAS fails and the caller update()s.
-        node* pa = pool_->protect(c.pre_cell_->next);
+        // cached_protect: reposition parks this very aux, so the re-pin is
+        // usually a zero-RMW transfer of the parked reference.
+        node* pa = pool_->cached_protect(c.pre_cell_->next);
         if (pa == nullptr || !pa->is_aux()) {  // defensive: see reposition()
             pool_->drop(pa);
             instrument::tls().insert_retries++;
@@ -388,7 +435,7 @@ public:
         // aux is re-pinned from the ref'd pre_cell (the cursor's pre_aux_
         // is an unreferenced hint); the CAS expecting d detects staleness.
         node* n = pool_->protect(d->next);
-        node* pa = pool_->protect(c.pre_cell_->next);
+        node* pa = pool_->cached_protect(c.pre_cell_->next);
         if (pa == nullptr || !pa->is_aux() || !swing(pa->next, d, n)) {
             pool_->drop(pa);
             pool_->drop(n);
@@ -457,7 +504,7 @@ public:
         c.reset();
         c.list_ = this;
         c.guard_ = pool_->make_guard();
-        c.pre_cell_ = pool_->copy(start);
+        c.pre_cell_ = pool_->cached_copy(start);
         c.pre_aux_ = nullptr;
         c.target_ = nullptr;
         reposition(c);
@@ -591,7 +638,10 @@ private:
             n = nn;
         }
         c.pre_aux_ = p;
-        pool_->drop_deferred(p);  // demote to hint: the reference is not kept
+        // Demote to hint: the reference is not kept by the cursor. Parking
+        // it (drop_to_cache) keeps the hot aux takeable by the mutators'
+        // cached_protect re-pin — and, while parked, pins the hint itself.
+        pool_->drop_to_cache(p);
         c.target_ = n;
         if (node* nx = n->next.load(std::memory_order_relaxed)) {
             __builtin_prefetch(static_cast<const void*>(nx), 0, 1);
@@ -651,11 +701,17 @@ private:
     static constexpr bool batch_scannable =
         std::is_trivially_destructible_v<T> && std::is_trivially_copy_constructible_v<T>;
 
-    /// Cells crossed per protect by scan()'s batched hop. Chosen so the
-    /// validation arrays stay comfortably on the stack while the one RMW
-    /// amortizes to noise; segments shorter than this (tail, aux chain,
-    /// concurrent restructuring) simply commit a shorter batch.
-    static constexpr int kScanBatch = 8;
+    /// Cells crossed per protect by the batched hop (scan and seek).
+    /// Chosen so the validation arrays stay comfortably on the stack
+    /// while the one RMW amortizes to noise; segments shorter than this
+    /// (tail, aux chain, concurrent restructuring) simply commit a
+    /// shorter batch. Raised from 8 when seeks joined the batch path:
+    /// at 8 the E7 seek row ran ~1.49x epoch, at 16 it runs ~1.35-1.45x
+    /// — the protect amortizes further while the snapshot stays under
+    /// 1 KiB for typical payloads. 32 measured no better (the protect
+    /// is already amortized to noise; the residual is per-cell snapshot
+    /// work), so 16 keeps the stack footprint small.
+    static constexpr int kScanBatch = 16;
 
     /// One batched-hop attempt: every unreferenced node read through
     /// (with its incarnation at first touch) plus raw payload snapshots
@@ -764,6 +820,105 @@ private:
             return nullptr;
         }
         return res;
+    }
+
+    /// One batched mutator-seek step: from the cursor's referenced target
+    /// (a cell), snapshot up to kScanBatch cells ahead (batch_hop), find
+    /// the first whose payload copy fails the predicate, and land the
+    /// cursor there with the referenced-triple contract intact:
+    ///   pre_cell <- the cell before the landing cell (upgraded to a
+    ///               counted reference via cached_try_ref);
+    ///   pre_aux  <- the aux between them (unreferenced hint, as always);
+    ///   target   <- the landing cell (upgraded likewise, or the already-
+    ///               protected segment end).
+    /// The upgrade try_refs land on SNAPSHOTTED pointers, so after they
+    /// succeed the ENTIRE snapshot is re-swept: unchanged incarnations
+    /// prove no snapshotted node was reclaimed since first touch, hence
+    /// the references attached to the nodes the snapshot actually read
+    /// (not same-address recycles) and the landing triple is exactly what
+    /// a hand-over-hand walk would have produced — §5 counts balance
+    /// because every reference the cursor ends up holding was acquired
+    /// through try_ref/protect and every one it gives up goes through
+    /// drop_deferred. Any failure undoes the speculative references and
+    /// returns false; the caller falls back to the per-cell hop.
+    template <typename Pred>
+    bool batch_seek_step(cursor& c, Pred& pred) {
+        node* from = c.target_;  // referenced cell (caller checked)
+        batch_snapshot s;
+        node* res = batch_hop(from, s);
+        if (res == nullptr) return false;
+        // With `from` a cell, the snapshot is laid out
+        //   src[0]      = the aux after from,
+        //   src[2i+1]   = crossed cell i   (payload copy vals[i]),
+        //   src[2i+2]   = the aux after it,     for i in [0, s.cells)
+        // and res (protected) is the segment-end node after src[nsrc-1].
+        int stop = 0;
+        while (stop < s.cells &&
+               pred(*std::launder(reinterpret_cast<const T*>(s.vals[stop])))) {
+            ++stop;
+        }
+        auto& ctr = instrument::tls();
+        if (stop == s.cells && res->is_cell() &&
+            pred(static_cast<const T&>(res->value()))) {
+            // Advance-only fast path: every crossed cell AND the live
+            // landing still satisfy the predicate, so the seek continues
+            // from res — no triple handoff yet, hence no extra RMWs
+            // (batch_commit's sweep already validated the segment). The
+            // cursor's pre_cell_ deliberately goes STALE: it keeps its
+            // counted reference (parking a reference only delays
+            // reclamation), and the batch that terminates the seek — or
+            // a fallback next() — re-anchors it before seek_while
+            // returns, so callers never observe the stale triple.
+            pool_->drop_deferred(from);
+            c.target_ = res;
+            const auto span = static_cast<std::uint64_t>(s.cells) + 1;
+            ctr.traverse_hops += span;
+            ctr.traverse_fast_hops += span;
+            ctr.cells_traversed += static_cast<std::uint64_t>(s.cells);
+            return true;
+        }
+        node* pre = stop == 0 ? from : const_cast<node*>(s.src[2 * stop - 1]);
+        node* hint = const_cast<node*>(s.src[2 * stop]);
+        node* tgt = stop == s.cells ? res : const_cast<node*>(s.src[2 * stop + 1]);
+        // Landing upgrade. from already carries the cursor's reference and
+        // res the protect's; only interior landings need new ones.
+        testing_hooks::chaos_point(sched::step_kind::batch_seek);
+        if (pre != from && !pool_->cached_try_ref(pre)) {
+            pool_->drop(res);
+            return false;
+        }
+        if (tgt != res && !pool_->cached_try_ref(tgt)) {
+            if (pre != from) pool_->unref(pre);
+            pool_->drop(res);
+            return false;
+        }
+        testing_hooks::chaos_point(sched::step_kind::batch_seek);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        bool ok = true;
+        for (int i = 0; ok && i < s.nsrc; ++i) {
+            ok = s.src[i]->incarnation.load(std::memory_order_relaxed) == s.inc[i];
+        }
+        if (!ok) {
+            if (pre != from) pool_->unref(pre);
+            if (tgt != res) pool_->unref(tgt);
+            pool_->drop(res);
+            return false;
+        }
+        if (tgt != res) pool_->drop(res);  // segment end overshoots the landing
+        pool_->drop_deferred(c.pre_cell_);
+        if (pre == from) {
+            c.pre_cell_ = from;  // the cursor's target reference transfers
+        } else {
+            c.pre_cell_ = pre;
+            pool_->drop_deferred(from);  // the old target reference departs
+        }
+        c.pre_aux_ = hint;
+        c.target_ = tgt;
+        const auto crossed = static_cast<std::uint64_t>(stop) + 1;
+        ctr.traverse_hops += crossed;
+        ctr.traverse_fast_hops += crossed;
+        ctr.cells_traversed += static_cast<std::uint64_t>(stop);
+        return true;
     }
 
     /// The counted-link CAS: swing `loc` from `expected` to `desired`,

@@ -33,6 +33,14 @@ public:
     explicit sorted_list_map(std::size_t initial_capacity = 1024, Compare cmp = Compare{})
         : list_(initial_capacity), cmp_(cmp) {}
 
+    /// Shared/configured-pool constructor (mirrors valois_list's): the
+    /// caller owns the pool and may tune it via pool_config — tests pin
+    /// the SafeRead-cache and deferred-release knobs this way. The pool
+    /// must outlive the map.
+    explicit sorted_list_map(typename list_type::pool_type& shared_pool,
+                             Compare cmp = Compare{})
+        : list_(shared_pool), cmp_(cmp) {}
+
     /// Retry backoff policy (§2.1: exponential backoff handles starvation
     /// at high contention more efficiently than wait-freedom would).
     /// Applied after every failed TryInsert/TryDelete; bench_e8 ablates it.
@@ -42,15 +50,14 @@ public:
     /// leaves c on the match, or returns false with c on the first cell
     /// whose key is greater (or at end-of-list) — the insertion position.
     bool find_from(const Key& key, cursor& c) {
-        auto& ctr = instrument::tls();
-        while (!c.at_end()) {
-            const Key& k = (*c).first;
-            ctr.cells_traversed++;
-            if (!cmp_(k, key) && !cmp_(key, k)) return true;  // k == key
-            if (cmp_(key, k)) return false;                   // k > key
-            list_.next(c);
-        }
-        return false;
+        // Keep going while the cell's key sorts before ours. seek_while
+        // rides the batched mutator superhop (predicate evaluated on
+        // validated snapshot copies, referenced-cursor handoff at the
+        // landing) and stops on the first cell with k >= key, or Last.
+        list_.seek_while(
+            c, [this, &key](const value_type& kv) { return cmp_(kv.first, key); });
+        if (c.at_end()) return false;
+        return !cmp_(key, (*c).first);  // !(k < key) held too: equal
     }
 
     /// Fig. 12 (Insert): adds key -> value; returns false if the key is

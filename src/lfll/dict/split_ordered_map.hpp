@@ -500,19 +500,21 @@ private:
     /// on so alone; regular targets (so odd) tie-break hash collisions by
     /// key, so equal-hash keys are still distinct entries.
     bool find_from_so(std::uint64_t so, const Key& key, cursor& c) {
-        auto& ctr = instrument::tls();
-        while (!c.at_end()) {
-            const entry& e = *c;
-            ctr.cells_traversed++;
-            if (e.so > so) return false;
-            if (e.so == so) {
-                if (so_detail::is_dummy_key(so)) return true;  // dummy: so is identity
-                if (cmp_(key, e.key)) return false;            // collision, ours first
-                if (!cmp_(e.key, key)) return true;            // equal key
-            }
-            list_.next(c);
-        }
-        return false;
+        // Keep-going predicate for the batched seek: an entry sorts
+        // before (so, key) while its so is smaller, or — equal so,
+        // regular entry — while its key sorts before ours. seek_while
+        // stops on the first entry at or past the target (or Last); the
+        // match tests below mirror the per-cell loop this replaces.
+        list_.seek_while(c, [this, so, &key](const entry& e) {
+            if (e.so != so) return e.so < so;
+            if (so_detail::is_dummy_key(so)) return false;  // dummy: so is identity
+            return cmp_(e.key, key);
+        });
+        if (c.at_end()) return false;
+        const entry& e = *c;
+        if (e.so != so) return false;
+        if (so_detail::is_dummy_key(so)) return true;
+        return !cmp_(key, e.key) && !cmp_(e.key, key);  // equal key
     }
 
     // --- resize policy ----------------------------------------------------

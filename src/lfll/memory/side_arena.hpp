@@ -1,0 +1,160 @@
+// Side arena: payload indirection that makes non-trivially-copyable
+// values eligible for the batched traversal fast path.
+//
+// The batched scan/seek hop (core/list.hpp batch_hop) snapshots cell
+// payloads with a racy byte copy and validates afterwards via the
+// incarnation sweep. That is only sound for trivially-copyable,
+// trivially-destructible payloads — a torn std::string copy would run
+// user code on garbage bytes before validation could discard it. The
+// side arena restores eligibility by indirection: the list cell stores
+// an `arena_ref<T>` (one raw pointer, trivially copyable), while the T
+// itself lives in an append-only arena whose storage is never recycled
+// for the arena's lifetime. A torn snapshot of the *pointer* is
+// discarded by the sweep exactly like any scalar payload, and a
+// validated pointer may be dereferenced freely because arena storage is
+// stable: erasing a cell unlinks the reference but deliberately leaks
+// the payload bytes until the whole arena is destroyed or reset at
+// quiescence.
+//
+// This is a measured-first mode, not a default: it trades unbounded
+// payload retention under churn for batched seeks over fat payloads.
+// Use it for read-mostly maps, bounded-churn phases, or epochal
+// workloads that can reset the arena wholesale between generations
+// (EXPERIMENTS.md "Side-arena string traversal" records the measured
+// win and the cost model).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+
+namespace lfll {
+
+/// Trivially-copyable handle to an arena-resident payload. This is the
+/// type stored in list cells: batch_scannable by construction, and safe
+/// to dereference after snapshot validation because the arena never
+/// recycles storage while alive.
+template <typename T>
+struct arena_ref {
+    T* ptr = nullptr;
+
+    const T& operator*() const noexcept { return *ptr; }
+    const T* operator->() const noexcept { return ptr; }
+    explicit operator bool() const noexcept { return ptr != nullptr; }
+};
+static_assert(std::is_trivially_copy_constructible_v<arena_ref<int>> &&
+              std::is_trivially_destructible_v<arena_ref<int>>);
+
+/// Chunked append-only typed arena. emplace() bump-allocates a slot from
+/// the current chunk with one relaxed fetch_add (wait-free while the
+/// chunk lasts); a filled chunk is replaced under a small mutex that
+/// only the unlucky overflowing threads contend on. Slots are destroyed
+/// in construction order when the arena is destroyed or reset —
+/// individual slots are never returned (that is the whole point: stable
+/// storage for racy-snapshot indirection).
+template <typename T>
+class side_arena {
+public:
+    /// `chunk_slots` is the granularity of growth, not a capacity cap.
+    explicit side_arena(std::size_t chunk_slots = 1024)
+        : chunk_slots_(chunk_slots < 8 ? 8 : chunk_slots) {
+        head_.store(new_chunk(nullptr), std::memory_order_release);
+    }
+
+    ~side_arena() { destroy_chain(head_.load(std::memory_order_acquire)); }
+
+    side_arena(const side_arena&) = delete;
+    side_arena& operator=(const side_arena&) = delete;
+
+    /// Construct a payload in stable storage; the returned handle stays
+    /// dereferenceable until the arena is destroyed or reset().
+    template <typename... Args>
+    arena_ref<T> emplace(Args&&... args) {
+        for (;;) {
+            chunk* c = head_.load(std::memory_order_acquire);
+            const std::size_t i = c->used.fetch_add(1, std::memory_order_relaxed);
+            if (i < chunk_slots_) {
+                T* p = ::new (c->slot(i)) T(std::forward<Args>(args)...);
+                // Publish the construction count last so reset()/dtor
+                // only destroy fully-constructed slots.
+                c->built.fetch_add(1, std::memory_order_release);
+                return arena_ref<T>{p};
+            }
+            // Chunk exhausted: one thread links a fresh chunk, the rest
+            // retry through it. `used` overshoot on the old chunk is
+            // harmless — `built` is what teardown trusts.
+            std::lock_guard<std::mutex> g(grow_mu_);
+            if (head_.load(std::memory_order_acquire) == c) {
+                head_.store(new_chunk(c), std::memory_order_release);
+            }
+        }
+    }
+
+    /// Destroy every payload and release all but one chunk. NOT safe
+    /// concurrently with emplace() or with traversals holding
+    /// arena_refs — call only at quiescence (the epochal-reset pattern).
+    void reset() {
+        chunk* c = head_.load(std::memory_order_acquire);
+        destroy_chain(c->prev);
+        c->prev = nullptr;
+        const std::size_t n = c->built.load(std::memory_order_acquire);
+        for (std::size_t i = n; i > 0; --i) c->slot_t(i - 1)->~T();
+        c->built.store(0, std::memory_order_relaxed);
+        c->used.store(0, std::memory_order_relaxed);
+    }
+
+    /// Payloads currently alive (constructed and not reset).
+    std::size_t size() const noexcept {
+        std::size_t n = 0;
+        for (chunk* c = head_.load(std::memory_order_acquire); c; c = c->prev)
+            n += c->built.load(std::memory_order_acquire);
+        return n;
+    }
+
+    /// Bytes of slot storage held (diagnostic; excludes chunk headers).
+    std::size_t capacity_bytes() const noexcept {
+        std::size_t n = 0;
+        for (chunk* c = head_.load(std::memory_order_acquire); c; c = c->prev)
+            n += chunk_slots_ * sizeof(T);
+        return n;
+    }
+
+private:
+    struct chunk {
+        chunk* prev = nullptr;
+        std::atomic<std::size_t> used{0};   ///< slots handed out (may overshoot)
+        std::atomic<std::size_t> built{0};  ///< slots fully constructed
+        unsigned char* storage = nullptr;
+
+        void* slot(std::size_t i) noexcept { return storage + i * sizeof(T); }
+        T* slot_t(std::size_t i) noexcept { return std::launder(reinterpret_cast<T*>(slot(i))); }
+    };
+
+    chunk* new_chunk(chunk* prev) {
+        auto* c = new chunk;
+        c->prev = prev;
+        c->storage = static_cast<unsigned char*>(
+            ::operator new[](chunk_slots_ * sizeof(T), std::align_val_t{alignof(T)}));
+        return c;
+    }
+
+    void destroy_chain(chunk* c) {
+        while (c != nullptr) {
+            const std::size_t n = c->built.load(std::memory_order_acquire);
+            for (std::size_t i = n; i > 0; --i) c->slot_t(i - 1)->~T();
+            ::operator delete[](c->storage, std::align_val_t{alignof(T)});
+            chunk* prev = c->prev;
+            delete c;
+            c = prev;
+        }
+    }
+
+    const std::size_t chunk_slots_;
+    std::atomic<chunk*> head_;
+    std::mutex grow_mu_;
+};
+
+}  // namespace lfll

@@ -34,9 +34,12 @@ enum class step_kind : std::uint8_t {
                      ///< lazy dummy insert, bucket-slot publish)
     sample,          ///< inside the profiler's sampling/arming decision
     slow_capture,    ///< inside the slow-op ring's claim -> publish window
+    batch_seek,      ///< inside the mutator superhop's snapshot -> referenced-
+                     ///< cursor handoff window (landing try_ref + incarnation sweep)
+    safe_read_cache, ///< inside the TLS SafeRead cache's take/donate/evict windows
 };
 
-inline constexpr int step_kind_count = 18;
+inline constexpr int step_kind_count = 20;
 
 constexpr const char* step_name(step_kind k) noexcept {
     switch (k) {
@@ -58,6 +61,8 @@ constexpr const char* step_name(step_kind k) noexcept {
         case step_kind::resize:           return "resize";
         case step_kind::sample:           return "sample";
         case step_kind::slow_capture:     return "slow_capture";
+        case step_kind::batch_seek:       return "batch_seek";
+        case step_kind::safe_read_cache:  return "safe_read_cache";
     }
     return "?";
 }

@@ -110,7 +110,10 @@ TEST(ListPayload, DestructorsBalancedThroughChurn) {
             list.update(c);
         }
         c.reset();
-        // Deleted cells were reclaimed (no cursors pin them): payloads gone.
+        // Deleted cells were reclaimed (no cursors pin them; parked
+        // SafeRead-cache references and batched decrements are flushed —
+        // both only ever DELAY reclamation): payloads gone.
+        list.pool().flush_deferred_releases();
         EXPECT_EQ(live.load(), 10);
     }
     // The list destructor releases the whole chain through the normal
