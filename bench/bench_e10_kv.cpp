@@ -10,7 +10,9 @@
 //     with ops flowing throughout (there is no stop-the-world phase to
 //     hide in: resize is one CAS and lazy dummy inserts, so any pause
 //     would show up as a p99 cliff).
-//  3. fixed vs resizable A/B: the same service harness over hash_map
+//  3. decay/churn: growth phase then an erase-dominated decay phase with
+//     min_load set — the directory must contract (shrink CAS path).
+//  4. fixed vs resizable A/B: the same service harness over hash_map
 //     shards (pre-sized vs under-sized) and split-ordered shards — what
 //     the resize machinery costs when capacity was guessed right, and
 //     what it buys when it was not.
@@ -119,6 +121,49 @@ void growth_under_load(int millis) {
                 factor, factor >= 8.0 ? "" : "  ** BELOW TARGET **");
 }
 
+void decay_churn(int millis) {
+    // E10.5 — the shrink half of the resize machinery under a realistic
+    // lifecycle: an insert-heavy growth phase inflates the directory, then
+    // an erase-dominated decay phase (most erases miss once the store
+    // drains — exactly the traffic shape that used to starve maybe_resize,
+    // which only ticked on successful ops) must walk it back down.
+    table t({"phase", "mix", "ops/s", "buckets", "grows", "shrinks", "size"});
+    split_ordered_config cfg;
+    cfg.initial_buckets = 8;
+    cfg.capacity_hint = 64;
+    cfg.max_load = 2.0;
+    cfg.min_load = 0.4;  // decay target: shrink once load drops below this
+    cfg.resize_check_period = 8;
+    so_store store = make_so_store(cfg);
+    kv_service_config sc;
+    sc.clients = kClients;
+    sc.millis = millis;
+    sc.key_range = 1 << 16;
+    sc.mix = request_mix{"zipf99-grow", {10, 80, 10}, 0.99};
+    const kv_report grow = run_kv_service(store, sc);
+    t.add_row({"grow", sc.mix.name, fmt_si(grow.run.ops_per_sec),
+               std::to_string(grow.buckets_before) + "->" +
+                   std::to_string(grow.buckets_after),
+               std::to_string(grow.grows), std::to_string(grow.shrinks),
+               fmt_si(static_cast<double>(grow.size_after))});
+    sc.millis = millis * 2;  // draining 80%-insert worth of keys takes longer
+    sc.mix = request_mix{"uniform-decay", {10, 5, 85}, 0.0};
+    const kv_report decay = run_kv_service(store, sc);
+    t.add_row({"decay", sc.mix.name, fmt_si(decay.run.ops_per_sec),
+               std::to_string(decay.buckets_before) + "->" +
+                   std::to_string(decay.buckets_after),
+               std::to_string(decay.grows), std::to_string(decay.shrinks),
+               fmt_si(static_cast<double>(decay.size_after))});
+    emit("E10.5 decay/churn: shrink after growth (min_load=0.4)", t);
+    const bool shrank =
+        decay.shrinks > 0 && decay.buckets_after < decay.buckets_before;
+    std::printf("decay_shrinks %llu, buckets %zu->%zu (acceptance: shrinks > 0 "
+                "and directory contracts)%s\n\n",
+                static_cast<unsigned long long>(decay.shrinks),
+                decay.buckets_before, decay.buckets_after,
+                shrank ? "" : "  ** BELOW TARGET **");
+}
+
 void fixed_vs_resizable(int millis) {
     table t({"store", "mix", "ops/s", "p50 ns", "p99 ns", "buckets", "grows", "size"});
     kv_service_config sc;
@@ -155,6 +200,7 @@ int main() {
     const int millis = bench_millis(150);
     sweep_mixes(millis);
     growth_under_load(millis);
+    decay_churn(millis);
     fixed_vs_resizable(millis);
     return 0;
 }

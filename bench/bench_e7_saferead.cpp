@@ -101,6 +101,25 @@ BENCHMARK(BM_ValoisPolicySeek<valois_refcount>)->Name("BM_ValoisSafeReadSeek");
 BENCHMARK(BM_ValoisPolicySeek<hazard_policy>)->Name("BM_ValoisHazardSeek");
 BENCHMARK(BM_ValoisPolicySeek<epoch_policy>)->Name("BM_ValoisEpochSeek");
 
+// map.for_each — the dictionary-level whole-map visit. Historically this
+// walked the cursor per cell (one SafeRead + Release per hop) even
+// though the seek engine batches; it now rides the same batched scan as
+// seek_while, so its ratio to the Seek rows above should be ~1, not the
+// old per-hop multiple.
+template <typename Policy>
+void BM_ValoisPolicyForEach(benchmark::State& state) {
+    auto& map = valois_map<Policy>();
+    long sum = 0;
+    for (auto _ : state) {
+        map.for_each([&sum](int k, int) { sum += k; });
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * kCells);
+}
+BENCHMARK(BM_ValoisPolicyForEach<valois_refcount>)->Name("BM_ValoisSafeReadForEach");
+BENCHMARK(BM_ValoisPolicyForEach<hazard_policy>)->Name("BM_ValoisHazardForEach");
+BENCHMARK(BM_ValoisPolicyForEach<epoch_policy>)->Name("BM_ValoisEpochForEach");
+
 // Insert/erase-heavy dictionary mix (20f/40i/40e over a half-full key
 // space): exercises the batched find_from plus the SafeRead-cache
 // re-pin in try_insert/try_delete. Items = operations, not cells.

@@ -525,6 +525,25 @@ public:
                   std::forward<Visit>(visit));
     }
 
+    /// Stamped scan for the snapshot/range-query layer: identical
+    /// traversal engine (superhop, SafeRead cache, aux elision), but the
+    /// visitor receives each cell's version stamps alongside the payload:
+    ///   visit(const T&, uint64_t born_ts, uint64_t dead_ts) -> bool
+    /// Batched segments surface the stamps captured inside the same
+    /// incarnation-validated window as the payload copy, so a validated
+    /// (payload, born, dead) triple is an atomic snapshot of the cell.
+    /// scan()/scan_from() accept stamped visitors directly; these names
+    /// exist so call sites read as what they are.
+    template <typename Visit>
+    void snapshot_scan(Visit&& visit) {
+        scan(std::forward<Visit>(visit));
+    }
+
+    template <typename Visit>
+    void snapshot_scan_from(node* start, Visit&& visit) {
+        scan_from(start, std::forward<Visit>(visit));
+    }
+
     /// As scan(), but starting immediately AFTER `start`, which must be a
     /// normal cell the caller keeps provably live for the duration (a
     /// counted link it owns — e.g. a hash bucket's dummy-cell anchor).
@@ -539,6 +558,12 @@ public:
     }
 
 private:
+    /// True when the scan visitor wants version stamps alongside the
+    /// payload (the snapshot/range-query layer's shape).
+    template <typename Visit>
+    static constexpr bool stamped_visitor =
+        std::is_invocable_v<Visit&, const T&, std::uint64_t, std::uint64_t>;
+
     /// Shared body of scan()/scan_from(): `p` arrives carrying one
     /// traversal reference (under counting policies) and the caller's
     /// guard spans the call.
@@ -562,7 +587,14 @@ private:
                     pool_->drop_deferred(p);
                     for (int i = 0; i < s.cells; ++i) {
                         ctr.cells_traversed++;
-                        if (!visit(*std::launder(reinterpret_cast<const T*>(s.vals[i])))) {
+                        const T& v = *std::launder(reinterpret_cast<const T*>(s.vals[i]));
+                        bool keep;
+                        if constexpr (stamped_visitor<Visit>) {
+                            keep = visit(v, s.born[i], s.dead[i]);
+                        } else {
+                            keep = visit(v);
+                        }
+                        if (!keep) {
                             pool_->drop(n);
                             return;
                         }
@@ -587,7 +619,17 @@ private:
             }
             if (n->is_cell()) {
                 ctr.cells_traversed++;
-                if (!visit(static_cast<const T&>(n->value()))) {
+                bool keep;
+                if constexpr (stamped_visitor<Visit>) {
+                    // n is protected: direct stamp reads are reads of live
+                    // memory, no seqlock dance needed.
+                    keep = visit(static_cast<const T&>(n->value()),
+                                 n->born_ts.load(std::memory_order_acquire),
+                                 n->dead_ts.load(std::memory_order_acquire));
+                } else {
+                    keep = visit(static_cast<const T&>(n->value()));
+                }
+                if (!keep) {
                     pool_->drop(n);
                     return;
                 }
@@ -722,6 +764,10 @@ private:
         std::uint64_t inc[2 * kScanBatch];
         int nsrc = 0;
         alignas(T) unsigned char vals[kScanBatch][sizeof(T)];
+        /// Version stamps captured inside the same incarnation window as
+        /// the payload copy (snapshot/range-query layer).
+        std::uint64_t born[kScanBatch];
+        std::uint64_t dead[kScanBatch];
         int cells = 0;
 
         void record(const node* n, std::uint64_t i) noexcept {
@@ -786,6 +832,18 @@ private:
             }
             const std::uint64_t ic = c->incarnation.load(std::memory_order_acquire);
             racy_value_copy(s.vals[s.cells], c);
+            // Stamps ride the same validation window as the payload bytes
+            // (construct_cell resets them, never on_reclaim, so they too
+            // mutate only strictly between incarnation bumps). The loads
+            // are acquire on purpose: reading a cell's release-stored
+            // born stamp synchronizes-with the inserter, which makes any
+            // stamp the inserter itself observed (e.g. the dead mark of
+            // the same-key predecessor it positioned behind) visible to
+            // this walk's LATER stamp reads — the alive-first cluster
+            // order then guarantees a snapshot never shows two live
+            // incarnations of one key.
+            s.born[s.cells] = c->born_ts.load(std::memory_order_acquire);
+            s.dead[s.cells] = c->dead_ts.load(std::memory_order_acquire);
             s.record(c, ic);
             node* a2 = c->next.load(std::memory_order_acquire);
             if (a2 == nullptr || !a2->is_aux()) {

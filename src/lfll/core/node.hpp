@@ -46,6 +46,17 @@ struct alignas(cacheline_size) list_node : Policy::header {
     /// read through, re-check incarnation. Slabs never return to the OS,
     /// so a recycled read is stale, never a fault.
     std::atomic<std::uint64_t> incarnation{0};
+    /// Version stamps for the snapshot/range-query layer (vCAS-lite).
+    /// A cell is visible to a range query at timestamp t iff
+    /// `born_ts <= t < dead_ts`. born_ts is stamped *after* the winning
+    /// link CAS (0 means "insert still in flight" and readers exclude);
+    /// dead_ts is stamped by the erase linearization CAS (inf -> D).
+    /// Both are reset in construct_cell, never in on_reclaim: racy batch
+    /// readers rely on node bytes mutating only strictly between
+    /// incarnation bumps, and construct_cell happens-after the bump via
+    /// the free-list pop chain.
+    std::atomic<std::uint64_t> born_ts{0};
+    std::atomic<std::uint64_t> dead_ts{~std::uint64_t{0}};
 
     alignas(T) unsigned char storage[sizeof(T)];
 
@@ -74,6 +85,8 @@ struct alignas(cacheline_size) list_node : Policy::header {
     /// must be private to the caller (freshly allocated).
     template <typename... Args>
     void construct_cell(Args&&... args) {
+        born_ts.store(0, std::memory_order_relaxed);
+        dead_ts.store(~std::uint64_t{0}, std::memory_order_relaxed);
         ::new (static_cast<void*>(storage)) T(std::forward<Args>(args)...);
         kind.store(node_kind::cell, std::memory_order_release);
     }

@@ -23,14 +23,19 @@
 //    against other structural mutations in the affected subtree.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <new>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "lfll/core/node.hpp"
+#include "lfll/core/rq.hpp"
 #include "lfll/memory/node_pool.hpp"
 #include "lfll/memory/policy.hpp"
 #include "lfll/primitives/instrument.hpp"
@@ -48,7 +53,12 @@ public:
         /// cell: the RIGHT auxiliary node. aux: unused.
         std::atomic<tree_node*> right{nullptr};
         std::atomic<node_kind> kind{node_kind::aux};
-        std::atomic<bool> dead{false};  ///< tombstone flag (cells only)
+        /// Version interval (cells only; see core/rq.hpp). born_ts == 0
+        /// means the insert's stamp is still in flight; dead_ts != inf is
+        /// the tombstone. Replaces the old boolean `dead` flag so range
+        /// queries can filter by their timestamp.
+        std::atomic<std::uint64_t> born_ts{0};
+        std::atomic<std::uint64_t> dead_ts{rq::kInfTs};
         alignas(Key) unsigned char storage[sizeof(Key)];
 
         bool is_aux() const noexcept {
@@ -71,7 +81,11 @@ public:
         void on_reclaim() noexcept {
             if (kind.load(std::memory_order_acquire) == node_kind::cell) key().~Key();
             kind.store(node_kind::aux, std::memory_order_release);
-            dead.store(false, std::memory_order_release);
+            // Safe to reset here (unlike list_node): the BST has no
+            // seqlock batch path, so stamps are only read under a
+            // counted reference / pin, never from a reclaimed node.
+            born_ts.store(0, std::memory_order_release);
+            dead_ts.store(rq::kInfTs, std::memory_order_release);
         }
     };
 
@@ -94,16 +108,50 @@ public:
         guard g = pool_.make_guard();
         for (;;) {
             tree_node* leaf = nullptr;
-            tree_node* found = search(key, &leaf);
+            tree_node* parent_aux = nullptr;
+            tree_node* found = search(key, &leaf, &parent_aux);
             if (found != nullptr) {
-                // Present — possibly as a tombstone we can revive.
-                bool was_dead = true;
-                testing_hooks::chaos_point(sched::step_kind::cas);  // tombstone revive
-                const bool revived = found->dead.compare_exchange_strong(
-                    was_dead, false, std::memory_order_seq_cst, std::memory_order_acquire);
+                if (found->dead_ts.load(std::memory_order_acquire) == rq::kInfTs) {
+                    pool_.drop(found);
+                    pool_.drop(parent_aux);
+                    return false;  // live instance present
+                }
+                // Tombstone revive — replace-cell protocol. The old CAS
+                // flip of a `dead` bit would mutate the victim's version
+                // interval in place, tearing any in-flight range query;
+                // instead a FRESH cell adopts the tombstone's auxiliary
+                // children and replaces it with one swing, which doubles
+                // as the tombstone's physical unlink (so hand the closed
+                // interval to in-flight queries first).
+                tree_node* la = pool_.protect(found->next);
+                tree_node* ra = pool_.protect(found->right);
+                tree_node* q = pool_.alloc();
+                ::new (static_cast<void*>(q->storage)) Key(key);
+                q->kind.store(node_kind::cell, std::memory_order_release);
+                q->next.store(pool_.ref(la), std::memory_order_relaxed);
+                q->right.store(pool_.ref(ra), std::memory_order_relaxed);
+                pool_.drop(la);
+                pool_.drop(ra);
+                if (rq_.armed()) {
+                    rq_.hand_off(rq_victim{
+                        found->key(),
+                        found->born_ts.load(std::memory_order_acquire),
+                        found->dead_ts.load(std::memory_order_acquire)});
+                }
+                testing_hooks::chaos_point(sched::step_kind::version_publish);
+                if (swing(parent_aux->next, found, q)) {
+                    q->born_ts.store(rq_.now(), std::memory_order_release);
+                    testing_hooks::chaos_point(sched::step_kind::version_publish);
+                    pool_.drop(found);
+                    pool_.drop(parent_aux);
+                    pool_.unref(q);
+                    return true;
+                }
+                instrument::tls().insert_retries++;
                 pool_.drop(found);
-                pool_.drop(leaf);
-                return revived;
+                pool_.drop(parent_aux);
+                pool_.unref(q);  // cascade releases the adopted aux refs
+                continue;
             }
             // Build the cell with both auxiliary children pre-attached
             // (their alloc references become the cell's counted links).
@@ -113,6 +161,10 @@ public:
             q->next.store(pool_.alloc(), std::memory_order_relaxed);
             q->right.store(pool_.alloc(), std::memory_order_relaxed);
             if (swing(leaf->next, nullptr, q)) {
+                // Version-stamp AFTER the winning swing (see core/rq.hpp:
+                // readers exclude born == 0 while the window is open).
+                q->born_ts.store(rq_.now(), std::memory_order_release);
+                testing_hooks::chaos_point(sched::step_kind::version_publish);
                 pool_.drop(leaf);
                 pool_.unref(q);
                 return true;
@@ -123,15 +175,19 @@ public:
         }
     }
 
-    /// Tombstone deletion: marks the cell dead. False if absent/already dead.
+    /// Tombstone deletion: marks the cell dead. False if absent/already
+    /// dead. The winning stamp CAS is the linearization point; no victim
+    /// hand-off is needed because the cell stays linked, stamps intact,
+    /// for any in-flight range query to read.
     bool erase(const Key& key) {
         guard g = pool_.make_guard();
         tree_node* found = search(key, nullptr);
         if (found == nullptr) return false;
-        bool was_live = false;
-        testing_hooks::chaos_point(sched::step_kind::cas);  // tombstone kill
-        const bool killed = found->dead.compare_exchange_strong(
-            was_live, true, std::memory_order_seq_cst, std::memory_order_acquire);
+        const std::uint64_t d = rq_.now();
+        testing_hooks::chaos_point(sched::step_kind::version_publish);
+        std::uint64_t expected = rq::kInfTs;
+        const bool killed = found->dead_ts.compare_exchange_strong(
+            expected, d, std::memory_order_seq_cst, std::memory_order_acquire);
         pool_.drop(found);
         if (!killed) instrument::tls().delete_retries++;
         return killed;
@@ -141,10 +197,20 @@ public:
         guard g = pool_.make_guard();
         tree_node* found = search(key, nullptr);
         if (found == nullptr) return false;
-        const bool live = !found->dead.load(std::memory_order_acquire);
+        const bool live = found->dead_ts.load(std::memory_order_acquire) == rq::kInfTs;
         pool_.drop(found);
         return live;
     }
+
+    /// Linearizable snapshot of every live key with lo <= key < hi, as of
+    /// the instant the query's timestamp was drawn (see core/rq.hpp). The
+    /// walk is a counted-reference in-order descent with subtree pruning.
+    std::vector<Key> range_query(const Key& lo, const Key& hi) {
+        return collect(&lo, &hi);
+    }
+
+    /// Full point-in-time snapshot, in key order.
+    std::vector<Key> snapshot() { return collect(nullptr, nullptr); }
 
     /// The paper's physical deletion (§4.2, Fig. 14). Concurrent searches
     /// are safe; concurrent structural mutations in the affected subtree
@@ -175,6 +241,20 @@ public:
             pool_.drop_deferred(n);
             parent_aux = child;
         }
+
+        // Physical removal: make sure the victim's interval is closed (it
+        // may already be a tombstone) and hand it to in-flight queries
+        // before any structural swing can hide it from their walk.
+        const std::uint64_t d = rq_.now();
+        std::uint64_t expected = rq::kInfTs;
+        const bool marked_here = v->dead_ts.compare_exchange_strong(
+            expected, d, std::memory_order_seq_cst, std::memory_order_acquire);
+        if (rq_.armed()) {
+            rq_.hand_off(rq_victim{v->key(),
+                                   v->born_ts.load(std::memory_order_acquire),
+                                   marked_here ? d : expected});
+        }
+        testing_hooks::chaos_point(sched::step_kind::version_publish);
 
         tree_node* left_aux = pool_.protect(v->next);
         tree_node* right_aux = pool_.protect(v->right);
@@ -267,9 +347,13 @@ private:
     /// Returns the cell with `key` (counted ref; may be tombstoned), or
     /// null. When null and `out_leaf` is non-null, *out_leaf receives a
     /// counted ref on the empty auxiliary node where the key belongs.
-    /// The caller must hold a guard; the returned references are
-    /// traversal references valid under it (drop() them).
-    tree_node* search(const Key& key, tree_node** out_leaf) {
+    /// When found and `out_parent` is non-null, *out_parent receives a
+    /// counted ref on the auxiliary node that pointed at the cell (the
+    /// replace-cell swing target). The caller must hold a guard; the
+    /// returned references are traversal references valid under it
+    /// (drop() them).
+    tree_node* search(const Key& key, tree_node** out_leaf,
+                      tree_node** out_parent = nullptr) {
         auto& ctr = instrument::tls();
         tree_node* a = pool_.copy(root_aux_);
         for (;;) {
@@ -290,7 +374,11 @@ private:
             }
             ctr.cells_traversed++;
             if (equal(n->key(), key)) {
-                pool_.drop_deferred(a);
+                if (out_parent != nullptr) {
+                    *out_parent = a;
+                } else {
+                    pool_.drop_deferred(a);
+                }
                 return n;
             }
             tree_node* child =
@@ -354,8 +442,67 @@ private:
         while (n != nullptr && n->is_aux()) n = n->next.load(std::memory_order_acquire);
         if (n == nullptr) return;
         walk(n->next.load(std::memory_order_acquire), f);
-        if (!n->dead.load(std::memory_order_acquire)) f(n->key());
+        if (n->dead_ts.load(std::memory_order_acquire) == rq::kInfTs) f(n->key());
         walk(n->right.load(std::memory_order_acquire), f);
+    }
+
+    /// Record handed to in-flight range queries when a revive or splice
+    /// physically unlinks a tombstone (see core/rq.hpp).
+    struct rq_victim {
+        Key key;
+        std::uint64_t born;
+        std::uint64_t dead;
+    };
+
+    std::vector<Key> collect(const Key* lo, const Key* hi) {
+        guard g = pool_.make_guard();
+        const auto tk = rq_.begin();
+        std::vector<Key> out;
+        visit_node(pool_.copy(root_aux_), lo, hi, tk.t, out);
+        bool merged = false;
+        rq_.end(tk, [&](const rq_victim& v) {
+            if (v.born == 0 || v.born > tk.t || tk.t >= v.dead) return;
+            if (lo != nullptr && cmp_(v.key, *lo)) return;
+            if (hi != nullptr && !cmp_(v.key, *hi)) return;
+            out.push_back(v.key);
+            merged = true;
+        });
+        if (merged) {
+            std::sort(out.begin(), out.end(), cmp_);
+            out.erase(std::unique(out.begin(), out.end(),
+                                  [&](const Key& a, const Key& b) {
+                                      return equal(a, b);
+                                  }),
+                      out.end());
+        }
+        return out;
+    }
+
+    /// In-order snapshot descent. `p` is a counted/protected reference
+    /// consumed by this call; each frame holds its cell while recursing so
+    /// the adopted-children invariant of replace-cell keeps the walk on
+    /// valid memory even when the cell is concurrently replaced.
+    void visit_node(tree_node* p, const Key* lo, const Key* hi, std::uint64_t t,
+                    std::vector<Key>& out) {
+        while (p != nullptr && p->is_aux()) {  // shunt chains too
+            tree_node* n = pool_.protect(p->next);
+            pool_.drop_deferred(p);
+            p = n;
+        }
+        if (p == nullptr) return;
+        const Key& k = p->key();
+        if (lo == nullptr || cmp_(*lo, k)) {  // left subtree may hold >= lo
+            visit_node(pool_.protect(p->next), lo, hi, t, out);
+        }
+        if ((lo == nullptr || !cmp_(k, *lo)) && (hi == nullptr || cmp_(k, *hi))) {
+            const std::uint64_t born = p->born_ts.load(std::memory_order_acquire);
+            const std::uint64_t dead = p->dead_ts.load(std::memory_order_acquire);
+            if (born != 0 && born <= t && t < dead) out.push_back(k);
+        }
+        if (hi == nullptr || cmp_(k, *hi)) {  // right subtree may hold < hi
+            visit_node(pool_.protect(p->right), lo, hi, t, out);
+        }
+        pool_.drop_deferred(p);
     }
 
     void validate(tree_node* n, const Key*& prev, std::string& err, int depth) {
@@ -385,6 +532,7 @@ private:
     pool_type pool_;
     tree_node* root_aux_ = nullptr;
     Compare cmp_;
+    rq::registry<rq_victim> rq_;
 };
 
 }  // namespace lfll

@@ -18,14 +18,18 @@
 //    so no key >= the predecessor's key can be missed (see DESIGN.md).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "lfll/core/list.hpp"
+#include "lfll/core/rq.hpp"
 #include "lfll/primitives/rng.hpp"
+#include "lfll/primitives/test_hooks.hpp"
 
 namespace lfll {
 
@@ -79,6 +83,11 @@ public:
                 a = levels_[0]->make_aux();
             }
             if (levels_[0]->try_insert(c0, q, a)) {
+                // Version-stamp AFTER the winning swing (see
+                // sorted_list_map). Only level 0 carries stamps:
+                // accelerator entries are not membership.
+                q->born_ts.store(rq_.now(), std::memory_order_release);
+                testing_hooks::chaos_point(sched::step_kind::version_publish);
                 won = true;
                 break;
             }
@@ -111,16 +120,41 @@ public:
         std::vector<node*> preds;
         cursor c0;
         descend(key, c0, &preds);
-        c0.reset();
 
+        // Membership truth is level 0: linearize there via the tombstone
+        // mark, hand the victim to in-flight range queries, then strip
+        // accelerators top-down and physically unlink the marked cell.
+        if (!find_in_level(0, key, c0)) {
+            c0.reset();
+            release_preds(preds);
+            return false;
+        }
+        node* victim = c0.target();
+        const std::uint64_t d = rq_.now();
+        testing_hooks::chaos_point(sched::step_kind::version_publish);
+        std::uint64_t expected = rq::kInfTs;
+        if (!victim->dead_ts.compare_exchange_strong(expected, d,
+                                                     std::memory_order_seq_cst,
+                                                     std::memory_order_acquire)) {
+            // Lost the mark race: a concurrent erase owns this cell.
+            instrument::tls().delete_retries++;
+            c0.reset();
+            release_preds(preds);
+            return false;
+        }
+        if (rq_.armed()) {
+            const entry& e = victim->value();
+            rq_.hand_off(rq_victim{e.key, *e.value,
+                                   victim->born_ts.load(std::memory_order_acquire), d});
+        }
         // Top-down (paper's order): strip the accelerator entries first so
         // the subset property is restored by the time level 0 commits.
         for (int i = max_level_ - 1; i >= 1; --i) {
             erase_in_level(i, key, preds[i]);
         }
-        const bool erased = erase_in_level(0, key, preds[0]);
+        unlink_level0(key, victim, c0);
         release_preds(preds);
-        return erased;
+        return true;
     }
 
     std::optional<Value> find(const Key& key) {
@@ -135,12 +169,15 @@ public:
     /// Bottom level holds exactly the members. Quiescent use.
     std::size_t size_slow() const { return levels_[0]->size_slow(); }
 
-    /// Visits members in key order (level-0 walk). Concurrent-safe.
+    /// Visits members in key order (level-0 walk, batched scan engine).
+    /// Concurrent-safe; tombstoned cells are skipped.
     template <typename F>
     void for_each(F&& f) {
-        for (cursor c(*levels_[0]); !c.at_end(); levels_[0]->next(c)) {
-            f((*c).key, *(*c).value);
-        }
+        levels_[0]->scan([&](const entry& e, std::uint64_t /*born*/,
+                             std::uint64_t dead) {
+            if (dead == rq::kInfTs) f(e.key, *e.value);
+            return true;
+        });
     }
 
     /// Ordered range scan: visits every member with lo <= key < hi, in
@@ -153,9 +190,24 @@ public:
         for (; !c.at_end(); levels_[0]->next(c)) {
             const Key& k = (*c).key;
             if (!cmp_(k, hi)) break;  // k >= hi
-            f(k, *(*c).value);
+            if (c.target()->dead_ts.load(std::memory_order_acquire) ==
+                rq::kInfTs) {
+                f(k, *(*c).value);
+            }
         }
+        c.reset();
     }
+
+    /// Linearizable snapshot of every member with lo <= key < hi, as of
+    /// the instant the query's timestamp was drawn. The O(log n) descent
+    /// positions the walk; the stamped level-0 scan plus the victim
+    /// registry do the rest (see core/rq.hpp).
+    std::vector<std::pair<Key, Value>> range_query(const Key& lo, const Key& hi) {
+        return collect(&lo, &hi);
+    }
+
+    /// Full point-in-time snapshot, in key order.
+    std::vector<std::pair<Key, Value>> snapshot() { return collect(nullptr, nullptr); }
 
     int max_level() const noexcept { return max_level_; }
     list_type& level(int i) noexcept { return *levels_[i]; }
@@ -163,17 +215,45 @@ public:
 
 private:
     /// Walks level `lvl` from cursor c's current position until the target
-    /// key is >= `key`. True iff the key was found.
+    /// key is >= `key`. True iff the key was found (at level 0: found and
+    /// live — a tombstoned first match means absent, and the cursor stays
+    /// on it, which is the correct insert-before position since live cells
+    /// precede dead ones inside an equal-key cluster).
     bool find_in_level(int lvl, const Key& key, cursor& c) {
         auto& ctr = instrument::tls();
         while (!c.at_end()) {
             const Key& k = (*c).key;
             ctr.cells_traversed++;
-            if (!cmp_(k, key) && !cmp_(key, k)) return true;
+            if (!cmp_(k, key) && !cmp_(key, k)) {
+                if (lvl > 0) return true;  // accelerators carry no stamps
+                return c.target()->dead_ts.load(std::memory_order_acquire) ==
+                       rq::kInfTs;
+            }
             if (cmp_(key, k)) return false;
             levels_[lvl]->next(c);
         }
         return false;
+    }
+
+    /// Physically unlinks a cell this thread marked dead. By identity:
+    /// retries target the exact victim, and walking past the equal-key
+    /// cluster without meeting it proves someone else unlinked it (a
+    /// deleted cell's frozen next chain cannot skip a still-linked cell).
+    void unlink_level0(const Key& key, node* victim, cursor& c) {
+        for (;;) {
+            if (!c.at_end() && !cmp_(key, (*c).key) && !cmp_((*c).key, key) &&
+                c.target() == victim) {
+                if (levels_[0]->try_delete(c)) break;
+                levels_[0]->update(c);
+                continue;
+            }
+            find_in_level(0, key, c);  // repositions into the cluster
+            while (!c.at_end() && !cmp_(key, (*c).key) && c.target() != victim) {
+                if (!levels_[0]->next(c)) break;
+            }
+            if (c.at_end() || cmp_(key, (*c).key)) break;  // already unlinked
+        }
+        c.reset();
     }
 
     /// Top-to-bottom search. On return, c0 sits at the first level-0 cell
@@ -268,6 +348,64 @@ private:
         preds.clear();
     }
 
+    /// Record handed to in-flight range queries when an erase unlinks a
+    /// cell (see core/rq.hpp for the full protocol).
+    struct rq_victim {
+        Key key;
+        Value value;
+        std::uint64_t born;
+        std::uint64_t dead;
+    };
+
+    /// Shared walk for range_query / snapshot. Draws the query timestamp,
+    /// walks level 0 with the stamped batch scan (anchored via the skip
+    /// descent when `lo` bounds the range), then merges unlink hand-offs.
+    std::vector<std::pair<Key, Value>> collect(const Key* lo, const Key* hi) {
+        const auto tk = rq_.begin();
+        std::vector<std::pair<Key, Value>> out;
+        auto visit = [&](const entry& e, std::uint64_t born, std::uint64_t dead) {
+            if (lo != nullptr && cmp_(e.key, *lo)) return true;
+            if (hi != nullptr && !cmp_(e.key, *hi)) return false;  // sorted: done
+            if (born != 0 && born <= tk.t && tk.t < dead) {
+                out.emplace_back(e.key, *e.value);
+            }
+            return true;
+        };
+        if (lo != nullptr) {
+            // Anchor at the level-0 predecessor of the first key >= lo.
+            // The cursor's reference keeps the anchor provably live for
+            // scan_from; every live cell in [lo, hi) sits at or after it
+            // (cells linked after the timestamp carry born > t anyway).
+            cursor c;
+            descend(*lo, c, nullptr);
+            node* start = c.pre_cell();
+            levels_[0]->snapshot_scan_from(start, visit);
+            c.reset();
+        } else {
+            levels_[0]->snapshot_scan(visit);
+        }
+        bool merged = false;
+        rq_.end(tk, [&](const rq_victim& v) {
+            if (v.born == 0 || v.born > tk.t || tk.t >= v.dead) return;
+            if (lo != nullptr && cmp_(v.key, *lo)) return;
+            if (hi != nullptr && !cmp_(v.key, *hi)) return;
+            out.emplace_back(v.key, v.value);
+            merged = true;
+        });
+        if (merged) {
+            std::sort(out.begin(), out.end(), [&](const auto& a, const auto& b) {
+                return cmp_(a.first, b.first);
+            });
+            out.erase(std::unique(out.begin(), out.end(),
+                                  [&](const auto& a, const auto& b) {
+                                      return !cmp_(a.first, b.first) &&
+                                             !cmp_(b.first, a.first);
+                                  }),
+                      out.end());
+        }
+        return out;
+    }
+
     int random_level() {
         // Seeded from a process-wide ordinal, not the TLS object's
         // address: with ASLR an address seed makes tower heights — and
@@ -287,6 +425,7 @@ private:
     std::vector<std::unique_ptr<list_type>> levels_;
     int max_level_;
     Compare cmp_;
+    rq::registry<rq_victim> rq_;
 };
 
 }  // namespace lfll

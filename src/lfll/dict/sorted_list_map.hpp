@@ -6,16 +6,44 @@
 // concurrent operation restructured the neighbourhood; Update re-validates
 // the cursor and the search continues from where it stood (never from the
 // front), which is what bounds the paper's amortized extra work.
+//
+// --- Snapshot / range-query layer (vCAS-lite) ---------------------------
+//
+// On top of the paper's protocol the map maintains version stamps
+// (node.hpp born_ts/dead_ts) against a per-map timestamp source
+// (core/rq.hpp), giving linearizable range_query(lo, hi) and whole-map
+// snapshot():
+//
+//   * insert stamps born_ts = now() *after* the winning Fig. 9 swing;
+//     readers treat a zero stamp as "insert in flight" and exclude it
+//     (always linearizable: the insert's [CAS, stamp] window is open).
+//   * erase LINEARIZES at dead_ts.CAS(inf -> D) — the tombstone mark —
+//     then hands the victim's closed interval to in-flight range queries
+//     (rq::registry) and only then physically unlinks via Fig. 10. A
+//     marked-but-linked cell is already absent to every reader.
+//   * cluster order: an insert always lands BEFORE the first equal-key
+//     cell, so a live incarnation precedes any tombstones of the same
+//     key and point reads can stop at the first key match.
+//
+// A range query draws one timestamp (its linearization point), rides the
+// ordinary batched snapshot_scan — stamps are captured inside the same
+// incarnation-validated window as the payload — and merges the victim
+// hand-offs at the end.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "lfll/core/list.hpp"
+#include "lfll/core/rq.hpp"
 #include "lfll/primitives/backoff.hpp"
 #include "lfll/primitives/instrument.hpp"
+#include "lfll/primitives/test_hooks.hpp"
 #include "lfll/telemetry/profiler.hpp"
 #include "lfll/telemetry/trace.hpp"
 
@@ -29,6 +57,7 @@ public:
     using value_type = std::pair<const Key, Value>;
     using list_type = valois_list<value_type, Policy>;
     using cursor = typename list_type::cursor;
+    using node = typename list_type::node;
 
     explicit sorted_list_map(std::size_t initial_capacity = 1024, Compare cmp = Compare{})
         : list_(initial_capacity), cmp_(cmp) {}
@@ -47,8 +76,10 @@ public:
     void set_backoff(backoff::config cfg) noexcept { backoff_cfg_ = cfg; }
 
     /// Fig. 11 (FindFrom): scan forward from c for `key`. Returns true and
-    /// leaves c on the match, or returns false with c on the first cell
-    /// whose key is greater (or at end-of-list) — the insertion position.
+    /// leaves c on the live match, or returns false with c on the first
+    /// cell whose key is >= key (or at end-of-list) — the insertion
+    /// position. A tombstoned (marked-dead) first match reports absent:
+    /// by the cluster order a live incarnation would precede it.
     bool find_from(const Key& key, cursor& c) {
         // Keep going while the cell's key sorts before ours. seek_while
         // rides the batched mutator superhop (predicate evaluated on
@@ -57,7 +88,8 @@ public:
         list_.seek_while(
             c, [this, &key](const value_type& kv) { return cmp_(kv.first, key); });
         if (c.at_end()) return false;
-        return !cmp_(key, (*c).first);  // !(k < key) held too: equal
+        if (cmp_(key, (*c).first)) return false;  // strictly greater: absent
+        return c.target()->dead_ts.load(std::memory_order_acquire) == rq::kInfTs;
     }
 
     /// Fig. 12 (Insert): adds key -> value; returns false if the key is
@@ -67,8 +99,8 @@ public:
         telemetry::prof::op_scope prof_op(telemetry::trace_op::insert,
                                           telemetry::key_hash(key));
         cursor c(list_);
-        typename list_type::node* q = nullptr;
-        typename list_type::node* a = nullptr;
+        node* q = nullptr;
+        node* a = nullptr;
         backoff bo(backoff_cfg_);
         for (;;) {
             if (find_from(key, c)) {
@@ -83,6 +115,13 @@ public:
                 a = list_.make_aux();
             }
             if (list_.try_insert(c, q, a)) {
+                // Version-stamp AFTER the winning swing: the timestamp is
+                // drawn later than the link CAS in seq_cst order, which
+                // is what lets readers treat born <= t as "linked before
+                // my linearization point". Until the stamp lands the
+                // cell reads as "insert in flight" to range queries.
+                q->born_ts.store(rq_.now(), std::memory_order_release);
+                testing_hooks::chaos_point(sched::step_kind::version_publish);
                 list_.release_node(q);
                 list_.release_node(a);
                 return true;
@@ -96,21 +135,34 @@ public:
     }
 
     /// Fig. 13 (Delete): removes the cell with `key`; false if absent.
+    /// Linearizes at the tombstone mark (dead_ts CAS), hands the victim
+    /// interval to in-flight range queries, then physically unlinks.
     bool erase(const Key& key) {
         LFLL_TRACE_SPAN(telemetry::trace_op::erase, telemetry::key_hash(key));
         telemetry::prof::op_scope prof_op(telemetry::trace_op::erase,
                                           telemetry::key_hash(key));
         cursor c(list_);
-        backoff bo(backoff_cfg_);
-        for (;;) {
-            if (!find_from(key, c)) return false;
-            if (list_.try_delete(c)) return true;
-            {
-                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
-                bo();
-                list_.update(c);
-            }
+        if (!find_from(key, c)) return false;
+        node* victim = c.target();
+        const std::uint64_t d = rq_.now();
+        testing_hooks::chaos_point(sched::step_kind::version_publish);
+        std::uint64_t expected = rq::kInfTs;
+        if (!victim->dead_ts.compare_exchange_strong(expected, d,
+                                                     std::memory_order_seq_cst,
+                                                     std::memory_order_acquire)) {
+            // Lost the mark race: a concurrent erase owns this cell, so
+            // the key is absent at our linearization point.
+            instrument::tls().delete_retries++;
+            return false;
         }
+        // We own the erase. Publish the closed interval to any range
+        // query that could still need it, then unlink (Fig. 10).
+        if (rq_.armed()) {
+            rq_.hand_off(rq_victim{victim->value().first, victim->value().second,
+                                   victim->born_ts.load(std::memory_order_acquire), d});
+        }
+        unlink_marked(key, victim, c);
+        return true;
     }
 
     /// Dictionary Find: copies out the mapped value if present. The copy
@@ -123,23 +175,28 @@ public:
         telemetry::prof::op_scope prof_op(telemetry::trace_op::find,
                                           telemetry::key_hash(key));
         std::optional<Value> out;
-        list_.scan([&](const value_type& v) {
-            if (cmp_(v.first, key)) return true;                      // keep walking
-            if (!cmp_(key, v.first)) out.emplace(v.second);          // equal: found
-            return false;                                             // >= key: stop
+        list_.scan([&](const value_type& v, std::uint64_t /*born*/, std::uint64_t dead) {
+            if (cmp_(v.first, key)) return true;  // keep walking
+            if (!cmp_(key, v.first) && dead == rq::kInfTs) {
+                out.emplace(v.second);  // equal and live: found
+            }
+            return false;  // >= key: stop (cluster order: live comes first)
         });
         return out;
     }
 
     bool contains(const Key& key) { return find(key).has_value(); }
 
-    /// Visits every (key, value) in sort order. Concurrent-safe (the visit
-    /// observes a linearizable-per-step traversal, like any cursor walk).
+    /// Visits every live (key, value) in sort order. Concurrent-safe.
+    /// Rides the batched scan engine (one protect per kScanBatch cells
+    /// under counting policies) instead of the per-cell cursor walk the
+    /// map used to do — the visitor sees validated snapshot copies.
     template <typename F>
     void for_each(F&& f) {
-        for (cursor c(list_); !c.at_end(); list_.next(c)) {
-            f((*c).first, (*c).second);
-        }
+        list_.scan([&](const value_type& v, std::uint64_t /*born*/, std::uint64_t dead) {
+            if (dead == rq::kInfTs) f(v.first, v.second);
+            return true;
+        });
     }
 
     /// Read-only visit for const holders (telemetry sampling). Logically
@@ -151,28 +208,43 @@ public:
         const_cast<sorted_list_map*>(this)->for_each(std::forward<F>(f));
     }
 
-    /// Ordered range scan: every (key, value) with lo <= key < hi, via
-    /// the light read-only walk. Concurrent-safe.
+    /// Ordered range scan: every live (key, value) with lo <= key < hi,
+    /// via the light read-only walk. Concurrent-safe but only
+    /// per-segment-validated; use range_query() for a linearizable
+    /// multi-key read.
     template <typename F>
     void for_each_range(const Key& lo, const Key& hi, F&& f) {
-        list_.scan([&](const value_type& v) {
+        list_.scan([&](const value_type& v, std::uint64_t /*born*/, std::uint64_t dead) {
             if (cmp_(v.first, lo)) return true;   // before the window
             if (!cmp_(v.first, hi)) return false;  // past it: stop
-            f(v.first, v.second);
+            if (dead == rq::kInfTs) f(v.first, v.second);
             return true;
         });
     }
 
-    /// Removes every element (retrying per-cell like erase). Linearizes
-    /// per deletion, not as one atomic sweep; concurrent inserts may
-    /// survive. Returns the number of cells this call deleted.
+    /// Linearizable range query: every (key, value) with lo <= key < hi
+    /// as of one single point in time (the timestamp draw). Sorted by
+    /// key, each key at most once.
+    std::vector<std::pair<Key, Value>> range_query(const Key& lo, const Key& hi) {
+        return collect(&lo, &hi);
+    }
+
+    /// Linearizable whole-map snapshot (range_query over everything).
+    std::vector<std::pair<Key, Value>> snapshot() { return collect(nullptr, nullptr); }
+
+    /// Removes every element via the erase protocol. Linearizes per
+    /// deletion, not as one atomic sweep; concurrent inserts may survive.
+    /// Returns the number of cells this call deleted.
     std::size_t clear() {
         std::size_t deleted = 0;
-        cursor c(list_);
         for (;;) {
-            list_.first(c);
+            cursor c(list_);
             if (c.at_end()) return deleted;
-            if (list_.try_delete(c)) ++deleted;
+            const Key k = (*c).first;
+            // A false return means the front cell is mid-erase by some
+            // other thread (it unlinks before that erase returns) or was
+            // already removed; just re-read the front.
+            if (erase(k)) ++deleted;
         }
     }
 
@@ -182,9 +254,88 @@ public:
     list_type& list() noexcept { return list_; }
 
 private:
+    /// Victim record handed to in-flight range queries when a marked cell
+    /// is about to be physically unlinked.
+    struct rq_victim {
+        Key key;
+        Value value;
+        std::uint64_t born;
+        std::uint64_t dead;
+    };
+
+    /// Physically unlink a cell this thread tombstoned. The mark winner
+    /// owns the unlink, but clear()/helping may race it away — the walk
+    /// detects "no longer linked" and stops. Re-seeks go by IDENTITY:
+    /// the key may meanwhile have live re-incarnations that must not be
+    /// deleted in the victim's stead.
+    void unlink_marked(const Key& key, node* victim, cursor& c) {
+        backoff bo(backoff_cfg_);
+        for (;;) {
+            if (!c.at_end() && c.target() == victim) {
+                if (list_.try_delete(c)) return;
+                {
+                    telemetry::prof::phase_scope prof_retry(
+                        telemetry::prof::phase::cas_retry);
+                    bo();
+                    list_.update(c);
+                }
+                continue;
+            }
+            // Cursor drifted off the victim: re-seek the equal-key
+            // cluster and walk it looking for the exact node. Frozen
+            // next-pointers of deleted cells always lead back into the
+            // live suffix at or before the victim, so a still-linked
+            // victim cannot be skipped — walking past the cluster proves
+            // it is already unlinked.
+            find_from(key, c);
+            while (!c.at_end() && !cmp_(key, (*c).first) && c.target() != victim) {
+                if (!list_.next(c)) break;
+            }
+            if (c.at_end() || cmp_(key, (*c).first)) return;  // already unlinked
+        }
+    }
+
+    /// Shared body of range_query()/snapshot(). Null bounds are open.
+    std::vector<std::pair<Key, Value>> collect(const Key* lo, const Key* hi) {
+        const auto tk = rq_.begin();
+        std::vector<std::pair<Key, Value>> out;
+        list_.snapshot_scan([&](const value_type& v, std::uint64_t born,
+                                std::uint64_t dead) {
+            if (lo != nullptr && cmp_(v.first, *lo)) return true;
+            if (hi != nullptr && !cmp_(v.first, *hi)) return false;  // sorted: stop
+            if (born != 0 && born <= tk.t && tk.t < dead) {
+                out.emplace_back(v.first, v.second);
+            }
+            return true;
+        });
+        bool merged = false;
+        rq_.end(tk, [&](const rq_victim& v) {
+            if (lo != nullptr && cmp_(v.key, *lo)) return;
+            if (hi != nullptr && !cmp_(v.key, *hi)) return;
+            if (v.born > tk.t || tk.t >= v.dead) return;  // not alive at t
+            out.emplace_back(v.key, v.value);
+            merged = true;
+        });
+        if (merged) {
+            // Victims arrive unordered and may duplicate cells the walk
+            // already saw (push raced the unlink); same-key intervals
+            // are disjoint, so duplicates carry identical values.
+            std::sort(out.begin(), out.end(),
+                      [this](const auto& a, const auto& b) { return cmp_(a.first, b.first); });
+            out.erase(std::unique(out.begin(), out.end(),
+                                  [this](const auto& a, const auto& b) {
+                                      return !cmp_(a.first, b.first) &&
+                                             !cmp_(b.first, a.first);
+                                  }),
+                      out.end());
+        }
+        return out;
+    }
+
     list_type list_;
     Compare cmp_;
     backoff::config backoff_cfg_{};
+    rq::registry<rq_victim> rq_;
 };
 
 }  // namespace lfll

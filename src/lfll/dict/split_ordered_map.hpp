@@ -44,6 +44,7 @@
 // (insert/erase/find/contains/for_each/size_slow/bucket_count).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cassert>
@@ -53,8 +54,10 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "lfll/core/list.hpp"
+#include "lfll/core/rq.hpp"
 #include "lfll/primitives/backoff.hpp"
 #include "lfll/primitives/cacheline.hpp"
 #include "lfll/primitives/instrument.hpp"
@@ -227,6 +230,10 @@ public:
                 a = list_.make_aux();
             }
             if (list_.try_insert(c, q, a)) {
+                // Version-stamp AFTER the winning swing (see
+                // sorted_list_map: zero reads as "insert in flight").
+                q->born_ts.store(rq_.now(), std::memory_order_release);
+                testing_hooks::chaos_point(sched::step_kind::version_publish);
                 list_.release_node(q);
                 list_.release_node(a);
                 break;
@@ -250,18 +257,34 @@ public:
         const std::uint64_t so = so_detail::so_regular(h);
         cursor c;
         anchor(h, c);
-        backoff bo(backoff_cfg_);
-        for (;;) {
-            // so has its low bit set, so a match can never be a dummy:
-            // bucket sentinels are structurally undeletable here.
-            if (!find_from_so(so, key, c)) return false;
-            if (list_.try_delete(c)) break;
-            {
-                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
-                bo();
-                list_.update(c);
-            }
+        // so has its low bit set, so a match can never be a dummy:
+        // bucket sentinels are structurally undeletable here.
+        if (!find_from_so(so, key, c)) {
+            // Still tick the load-factor check: decay workloads are
+            // dominated by erase misses once keys drain, and shrink used
+            // to stall entirely because only *successful* updates ever
+            // re-checked the load (D1 residual).
+            maybe_resize();
+            return false;
         }
+        node* victim = c.target();
+        const std::uint64_t d = rq_.now();
+        testing_hooks::chaos_point(sched::step_kind::version_publish);
+        std::uint64_t expected = rq::kInfTs;
+        if (!victim->dead_ts.compare_exchange_strong(expected, d,
+                                                     std::memory_order_seq_cst,
+                                                     std::memory_order_acquire)) {
+            // Lost the mark race: a concurrent erase owns this cell.
+            instrument::tls().delete_retries++;
+            maybe_resize();
+            return false;
+        }
+        if (rq_.armed()) {
+            const entry& e = victim->value();
+            rq_.hand_off(rq_victim{e.key, e.value,
+                                   victim->born_ts.load(std::memory_order_acquire), d});
+        }
+        unlink_marked(so, key, victim, c);
         size_add(-1);
         maybe_resize();
         return true;
@@ -277,24 +300,27 @@ public:
         const std::uint64_t h = hash_of(key);
         const std::uint64_t so = so_detail::so_regular(h);
         std::optional<Value> out;
-        list_.scan_from(bucket_node(h & mask()), [&](const entry& e) {
+        list_.scan_from(bucket_node(h & mask()),
+                        [&](const entry& e, std::uint64_t /*born*/, std::uint64_t dead) {
             if (e.so < so) return true;                       // keep walking
             if (e.so > so) return false;                      // past it: stop
             if (cmp_(e.key, key)) return true;                // colliding hash, smaller key
-            if (!cmp_(key, e.key)) out.emplace(e.value);      // equal: found
-            return false;
+            if (!cmp_(key, e.key) && dead == rq::kInfTs) {
+                out.emplace(e.value);                         // equal and live: found
+            }
+            return false;  // cluster order: live incarnation comes first
         });
         return out;
     }
 
     bool contains(const Key& key) { return find(key).has_value(); }
 
-    /// Visits every user (key, value) — dummies skipped — in split-key
-    /// order (NOT key order). Concurrent-safe, like any scan.
+    /// Visits every live user (key, value) — dummies skipped — in
+    /// split-key order (NOT key order). Concurrent-safe, like any scan.
     template <typename F>
     void for_each(F&& f) {
-        list_.scan([&](const entry& e) {
-            if (!so_detail::is_dummy_key(e.so)) f(e.key, e.value);
+        list_.scan([&](const entry& e, std::uint64_t /*born*/, std::uint64_t dead) {
+            if (!so_detail::is_dummy_key(e.so) && dead == rq::kInfTs) f(e.key, e.value);
             return true;
         });
     }
@@ -303,6 +329,19 @@ public:
     void for_each(F&& f) const {
         const_cast<split_ordered_map*>(this)->for_each(std::forward<F>(f));
     }
+
+    /// Linearizable range query: every (key, value) with lo <= key < hi
+    /// as of one single point in time. Cross-bucket by construction: the
+    /// walk covers the ONE split-ordered list every bucket shares, so a
+    /// concurrent resize CAS (which only redirects where searches start)
+    /// cannot split the snapshot. Costs a full-list walk regardless of
+    /// range width (split order is not key order). Sorted by key.
+    std::vector<std::pair<Key, Value>> range_query(const Key& lo, const Key& hi) {
+        return collect(&lo, &hi);
+    }
+
+    /// Linearizable whole-map snapshot.
+    std::vector<std::pair<Key, Value>> snapshot() { return collect(nullptr, nullptr); }
 
     /// Quiescent-only exact element count (dummies excluded).
     std::size_t size_slow() const {
@@ -495,10 +534,12 @@ private:
     void anchor(std::uint64_t h, cursor& c) { list_.seek(c, bucket_node(h & mask())); }
 
     /// find_from in split order: scan forward for (so, key). Returns true
-    /// with c on the match, else false with c on the first entry sorting
-    /// after it (the insertion position). Dummy targets (so even) match
-    /// on so alone; regular targets (so odd) tie-break hash collisions by
-    /// key, so equal-hash keys are still distinct entries.
+    /// with c on the live match, else false with c on the first entry
+    /// sorting after it (the insertion position). Dummy targets (so even)
+    /// match on so alone — dummies are never tombstoned; regular targets
+    /// (so odd) tie-break hash collisions by key, and a tombstoned first
+    /// match reports absent (inserts land BEFORE the first exact match,
+    /// so a live incarnation would precede it).
     bool find_from_so(std::uint64_t so, const Key& key, cursor& c) {
         // Keep-going predicate for the batched seek: an entry sorts
         // before (so, key) while its so is smaller, or — equal so,
@@ -514,7 +555,68 @@ private:
         const entry& e = *c;
         if (e.so != so) return false;
         if (so_detail::is_dummy_key(so)) return true;
-        return !cmp_(key, e.key) && !cmp_(e.key, key);  // equal key
+        if (cmp_(key, e.key) || cmp_(e.key, key)) return false;  // different key
+        return c.target()->dead_ts.load(std::memory_order_acquire) == rq::kInfTs;
+    }
+
+    bool same_entry_key(const entry& e, std::uint64_t so, const Key& key) const {
+        return e.so == so && !cmp_(e.key, key) && !cmp_(key, e.key);
+    }
+
+    /// Physically unlink a cell this thread tombstoned (see
+    /// sorted_list_map::unlink_marked — identical identity-walk argument,
+    /// with (so, key) as the cluster coordinate).
+    void unlink_marked(std::uint64_t so, const Key& key, node* victim, cursor& c) {
+        backoff bo(backoff_cfg_);
+        for (;;) {
+            if (!c.at_end() && c.target() == victim) {
+                if (list_.try_delete(c)) return;
+                {
+                    telemetry::prof::phase_scope prof_retry(
+                        telemetry::prof::phase::cas_retry);
+                    bo();
+                    list_.update(c);
+                }
+                continue;
+            }
+            find_from_so(so, key, c);
+            while (!c.at_end() && same_entry_key(*c, so, key) && c.target() != victim) {
+                if (!list_.next(c)) break;
+            }
+            if (c.at_end() || !same_entry_key(*c, so, key)) return;  // already unlinked
+        }
+    }
+
+    /// Shared body of range_query()/snapshot(). Null bounds are open.
+    /// One stamped walk over the shared list (dummies and in-flight
+    /// inserts excluded by born == 0), merged with the victim hand-offs,
+    /// then key-sorted and deduped.
+    std::vector<std::pair<Key, Value>> collect(const Key* lo, const Key* hi) {
+        const auto tk = rq_.begin();
+        std::vector<std::pair<Key, Value>> out;
+        list_.snapshot_scan([&](const entry& e, std::uint64_t born, std::uint64_t dead) {
+            if (so_detail::is_dummy_key(e.so)) return true;
+            if (lo != nullptr && cmp_(e.key, *lo)) return true;
+            if (hi != nullptr && !cmp_(e.key, *hi)) return true;  // NOT sorted by key
+            if (born != 0 && born <= tk.t && tk.t < dead) {
+                out.emplace_back(e.key, e.value);
+            }
+            return true;
+        });
+        rq_.end(tk, [&](const rq_victim& v) {
+            if (lo != nullptr && cmp_(v.key, *lo)) return;
+            if (hi != nullptr && !cmp_(v.key, *hi)) return;
+            if (v.born > tk.t || tk.t >= v.dead) return;  // not alive at t
+            out.emplace_back(v.key, v.value);
+        });
+        std::sort(out.begin(), out.end(),
+                  [this](const auto& a, const auto& b) { return cmp_(a.first, b.first); });
+        out.erase(std::unique(out.begin(), out.end(),
+                              [this](const auto& a, const auto& b) {
+                                  return !cmp_(a.first, b.first) && !cmp_(b.first, a.first);
+                              }),
+                  out.end());
+        return out;
     }
 
     // --- resize policy ----------------------------------------------------
@@ -546,7 +648,13 @@ private:
                 g_buckets_->set(static_cast<std::int64_t>(buckets * 2));
             }
         } else if (min_load_ > 0.0 && buckets > initial_buckets_ &&
-                   n < min_load_ * static_cast<double>(buckets)) {
+                   n < min_load_ * static_cast<double>(buckets) &&
+                   // Oscillation clamp: refuse a halving the current size
+                   // would immediately grow back out of (possible when
+                   // min_load is configured close to max_load / 2) — the
+                   // decay bench showed grow/shrink ping-pong burns a CAS
+                   // storm on the bucket count without ever settling.
+                   n <= max_load_ * static_cast<double>(buckets / 2)) {
             testing_hooks::chaos_point(sched::step_kind::resize);  // shrink publish
             if (bucket_count_.compare_exchange_strong(buckets, buckets / 2,
                                                       std::memory_order_acq_rel,
@@ -570,6 +678,14 @@ private:
         std::atomic<std::int64_t> v{0};
     };
 
+    /// Victim record handed to in-flight range queries at unlink time.
+    struct rq_victim {
+        Key key;
+        Value value;
+        std::uint64_t born;
+        std::uint64_t dead;
+    };
+
     Hash hash_;
     Compare cmp_;
     backoff::config backoff_cfg_{};
@@ -591,6 +707,7 @@ private:
     std::atomic<slot_type*> segments_[kMaxSegments] = {};
     size_stripe size_[kSizeStripes];
     list_type list_;
+    rq::registry<rq_victim> rq_;
 };
 
 }  // namespace lfll

@@ -12,16 +12,26 @@
 // for the arena's lifetime. A torn snapshot of the *pointer* is
 // discarded by the sweep exactly like any scalar payload, and a
 // validated pointer may be dereferenced freely because arena storage is
-// stable: erasing a cell unlinks the reference but deliberately leaks
-// the payload bytes until the whole arena is destroyed or reset at
-// quiescence.
+// stable: erasing a cell unlinks the reference and release()s it, but
+// the payload bytes stay resident until trim() or reset() reclaims them
+// at quiescence.
 //
-// This is a measured-first mode, not a default: it trades unbounded
-// payload retention under churn for batched seeks over fat payloads.
-// Use it for read-mostly maps, bounded-churn phases, or epochal
-// workloads that can reset the arena wholesale between generations
-// (EXPERIMENTS.md "Side-arena string traversal" records the measured
-// win and the cost model).
+// Reclamation model (fixes the original append-only leak): every chunk
+// carries a live-slot refcount. emplace() increments it; release(ref)
+// decrements it when the owning cell is erased. trim() — quiescent, like
+// reset() — destroys the payloads of fully-released non-head chunks and
+// returns their storage, so a long-lived arena under churn converges to
+// O(live payloads) instead of O(all payloads ever). This keeps the hot
+// paths intact: release() is one relaxed decrement, never a destructor,
+// so a racy snapshot taken just before the erase still reads valid
+// bytes until the next quiescent trim.
+//
+// This is a measured-first mode, not a default: it trades payload
+// retention between trims for batched seeks over fat payloads. Use it
+// for read-mostly maps, bounded-churn phases, or epochal workloads that
+// can reset or trim the arena between generations (EXPERIMENTS.md
+// "Side-arena string traversal" records the measured win and the cost
+// model).
 #pragma once
 
 #include <atomic>
@@ -40,6 +50,10 @@ namespace lfll {
 template <typename T>
 struct arena_ref {
     T* ptr = nullptr;
+    /// Owning chunk's live-slot counter (opaque to cells; consumed by
+    /// side_arena::release). A second raw pointer keeps the handle
+    /// trivially copyable, so batch eligibility is unchanged.
+    std::atomic<std::size_t>* live = nullptr;
 
     const T& operator*() const noexcept { return *ptr; }
     const T* operator->() const noexcept { return ptr; }
@@ -78,10 +92,11 @@ public:
             const std::size_t i = c->used.fetch_add(1, std::memory_order_relaxed);
             if (i < chunk_slots_) {
                 T* p = ::new (c->slot(i)) T(std::forward<Args>(args)...);
+                c->live.fetch_add(1, std::memory_order_relaxed);
                 // Publish the construction count last so reset()/dtor
                 // only destroy fully-constructed slots.
                 c->built.fetch_add(1, std::memory_order_release);
-                return arena_ref<T>{p};
+                return arena_ref<T>{p, &c->live};
             }
             // Chunk exhausted: one thread links a fresh chunk, the rest
             // retry through it. `used` overshoot on the old chunk is
@@ -91,6 +106,14 @@ public:
                 head_.store(new_chunk(c), std::memory_order_release);
             }
         }
+    }
+
+    /// Mark a payload's slot unreferenced. Wait-free (one relaxed
+    /// decrement); does NOT run the destructor — storage stays readable
+    /// for stragglers until the next quiescent trim()/reset(). Each
+    /// handle must be released at most once.
+    void release(const arena_ref<T>& r) noexcept {
+        if (r.live != nullptr) r.live->fetch_sub(1, std::memory_order_release);
     }
 
     /// Destroy every payload and release all but one chunk. NOT safe
@@ -104,6 +127,39 @@ public:
         for (std::size_t i = n; i > 0; --i) c->slot_t(i - 1)->~T();
         c->built.store(0, std::memory_order_relaxed);
         c->used.store(0, std::memory_order_relaxed);
+        c->live.store(0, std::memory_order_relaxed);
+    }
+
+    /// Reclaim fully-released chunks: destroys the payloads of every
+    /// non-head chunk whose live count is zero and frees its storage.
+    /// Returns the number of chunks freed. Same quiescence contract as
+    /// reset() — no concurrent emplace()/traversal — but unlike reset()
+    /// it preserves every still-referenced payload, so it is the periodic
+    /// maintenance hook for long-lived churny arenas.
+    std::size_t trim() {
+        std::size_t freed = 0;
+        chunk* c = head_.load(std::memory_order_acquire);  // head always kept
+        while (c->prev != nullptr) {
+            chunk* p = c->prev;
+            if (p->live.load(std::memory_order_acquire) == 0) {
+                c->prev = p->prev;
+                p->prev = nullptr;
+                destroy_chain(p);
+                ++freed;
+            } else {
+                c = p;
+            }
+        }
+        return freed;
+    }
+
+    /// Slots emplaced and not yet release()d (audit hook; exact only at
+    /// quiescence).
+    std::size_t live_count() const noexcept {
+        std::size_t n = 0;
+        for (chunk* c = head_.load(std::memory_order_acquire); c; c = c->prev)
+            n += c->live.load(std::memory_order_acquire);
+        return n;
     }
 
     /// Payloads currently alive (constructed and not reset).
@@ -127,6 +183,7 @@ private:
         chunk* prev = nullptr;
         std::atomic<std::size_t> used{0};   ///< slots handed out (may overshoot)
         std::atomic<std::size_t> built{0};  ///< slots fully constructed
+        std::atomic<std::size_t> live{0};   ///< built minus release()d
         unsigned char* storage = nullptr;
 
         void* slot(std::size_t i) noexcept { return storage + i * sizeof(T); }

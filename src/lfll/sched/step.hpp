@@ -37,9 +37,13 @@ enum class step_kind : std::uint8_t {
     batch_seek,      ///< inside the mutator superhop's snapshot -> referenced-
                      ///< cursor handoff window (landing try_ref + incarnation sweep)
     safe_read_cache, ///< inside the TLS SafeRead cache's take/donate/evict windows
+    version_publish, ///< between a structural win (link/mark CAS) and the
+                     ///< publication of its version stamp or victim hand-off
+    rq_validate,     ///< inside a range query's slot claim / activate / retire
+                     ///< windows, where hand-off visibility is decided
 };
 
-inline constexpr int step_kind_count = 20;
+inline constexpr int step_kind_count = 22;
 
 constexpr const char* step_name(step_kind k) noexcept {
     switch (k) {
@@ -63,6 +67,8 @@ constexpr const char* step_name(step_kind k) noexcept {
         case step_kind::slow_capture:     return "slow_capture";
         case step_kind::batch_seek:       return "batch_seek";
         case step_kind::safe_read_cache:  return "safe_read_cache";
+        case step_kind::version_publish:  return "version_publish";
+        case step_kind::rq_validate:      return "rq_validate";
     }
     return "?";
 }

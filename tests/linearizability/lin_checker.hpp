@@ -18,6 +18,7 @@
 //    masks makes the search practical for histories up to ~40 ops.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
@@ -28,15 +29,17 @@
 
 namespace lin {
 
-enum class op_kind { insert, erase, contains };
+enum class op_kind { insert, erase, contains, range };
 
 struct recorded_op {
     int thread;
     op_kind kind;
-    int key;
-    bool result;
+    int key;      ///< range: the inclusive lower bound `lo`
+    bool result;  ///< range: unused (always true)
     std::uint64_t invoke;    ///< global ticket taken before the call
     std::uint64_t response;  ///< global ticket taken after the return
+    int hi = 0;              ///< range only: exclusive upper bound
+    std::vector<int> keys;   ///< range only: returned keys, sorted
 };
 
 inline const char* op_name(op_kind k) {
@@ -44,6 +47,7 @@ inline const char* op_name(op_kind k) {
         case op_kind::insert:   return "insert";
         case op_kind::erase:    return "erase";
         case op_kind::contains: return "contains";
+        case op_kind::range:    return "range";
     }
     return "?";
 }
@@ -61,7 +65,20 @@ struct recorder {
         const bool result = call();
         const std::uint64_t rsp = ticket.fetch_add(1, std::memory_order_acq_rel);
         std::lock_guard lk(mu);
-        history.push_back({thread, k, key, result, inv, rsp});
+        history.push_back({thread, k, key, result, inv, rsp, 0, {}});
+    }
+
+    /// Records a range query [lo, hi): `call` returns the key vector. The
+    /// whole query is one operation with one linearization point.
+    template <typename F>
+    void record_range(int thread, int lo, int hi, F&& call) {
+        const std::uint64_t inv = ticket.fetch_add(1, std::memory_order_acq_rel);
+        std::vector<int> keys = call();
+        const std::uint64_t rsp = ticket.fetch_add(1, std::memory_order_acq_rel);
+        std::sort(keys.begin(), keys.end());
+        std::lock_guard lk(mu);
+        history.push_back({thread, op_kind::range, lo, true, inv, rsp, hi,
+                           std::move(keys)});
     }
 };
 
@@ -70,6 +87,16 @@ struct recorder {
 inline std::string describe(const std::vector<recorded_op>& history) {
     std::ostringstream os;
     for (const recorded_op& o : history) {
+        if (o.kind == op_kind::range) {
+            os << "  [t" << o.thread << "] range(" << o.key << ", " << o.hi
+               << ") -> {";
+            for (std::size_t i = 0; i < o.keys.size(); ++i) {
+                if (i != 0) os << ' ';
+                os << o.keys[i];
+            }
+            os << "}   @" << o.invoke << ".." << o.response << '\n';
+            continue;
+        }
         os << "  [t" << o.thread << "] " << op_name(o.kind) << '(' << o.key
            << ") -> " << (o.result ? "true" : "false") << "   @" << o.invoke
            << ".." << o.response << '\n';
@@ -93,6 +120,16 @@ struct search {
     std::unordered_set<std::uint64_t> failed_masks;
 
     bool valid(const recorded_op& o, const std::unordered_set<int>& state) const {
+        if (o.kind == op_kind::range) {
+            // The whole query has ONE linearization point: its keys must
+            // equal the abstract state restricted to [lo, hi), exactly.
+            std::vector<int> expect;
+            for (int k : state) {
+                if (k >= o.key && k < o.hi) expect.push_back(k);
+            }
+            std::sort(expect.begin(), expect.end());
+            return expect == o.keys;
+        }
         const bool present = state.count(o.key) != 0;
         switch (o.kind) {
             case op_kind::insert:
@@ -127,7 +164,9 @@ struct search {
             if (!minimal) continue;
             if (!valid(ops[i], state)) continue;
             // Apply.
-            const bool mutate = ops[i].result && ops[i].kind != op_kind::contains;
+            const bool mutate =
+                ops[i].result && (ops[i].kind == op_kind::insert ||
+                                  ops[i].kind == op_kind::erase);
             if (mutate) {
                 if (ops[i].kind == op_kind::insert)
                     state.insert(ops[i].key);

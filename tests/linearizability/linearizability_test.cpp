@@ -20,6 +20,7 @@
 #include "lfll/dict/hash_map.hpp"
 #include "lfll/dict/skip_list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/dict/split_ordered_map.hpp"
 #include "lfll/primitives/rng.hpp"
 
 namespace {
@@ -97,6 +98,54 @@ TEST(LinChecker, AcceptsConcurrentInsertLoserSeesWinner) {
     EXPECT_TRUE(lin::is_linearizable(h));
 }
 
+recorded_op mkr(int thread, int lo, int hi, std::vector<int> keys,
+                std::uint64_t inv, std::uint64_t rsp) {
+    recorded_op o{thread, op_kind::range, lo, true, inv, rsp};
+    o.hi = hi;
+    o.keys = std::move(keys);
+    return o;
+}
+
+TEST(LinChecker, AcceptsConsistentRange) {
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 1, true, 0, 1),
+        mk(0, op_kind::insert, 3, true, 2, 3),
+        mkr(1, 0, 10, {1, 3}, 4, 5),
+        mk(0, op_kind::erase, 1, true, 6, 7),
+        mkr(1, 0, 10, {3}, 8, 9),
+        mkr(1, 2, 3, {}, 10, 11),  // bounds exclude 3
+    };
+    EXPECT_TRUE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, RejectsTornRange) {
+    // Both inserts completed before the query was invoked, yet the query
+    // saw only one of them: no single linearization point explains it.
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 1, true, 0, 1),
+        mk(0, op_kind::insert, 2, true, 2, 3),
+        mkr(1, 0, 10, {2}, 4, 5),
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, AcceptsRangeOverlappingInsertEitherWay) {
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 5, true, 0, 3),
+        mkr(1, 0, 10, {}, 1, 2),  // linearized before the insert
+    };
+    EXPECT_TRUE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, RejectsRangeResurrectingErasedKey) {
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 4, true, 0, 1),
+        mk(0, op_kind::erase, 4, true, 2, 3),
+        mkr(1, 0, 10, {4}, 4, 5),  // strictly after the erase completed
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
 // ------------------------------------------------------------- recording
 // real histories from the library's dictionaries.
 
@@ -147,12 +196,69 @@ void check_structure(MakeDict&& make, int rounds) {
     }
 }
 
+/// Like check_structure, but one op in four is a range query, so every
+/// history exercises snapshot isolation against concurrent inserts and
+/// erases (including physical unlinks and the victim hand-off path).
+template <typename MakeDict>
+void check_structure_rq(MakeDict&& make, int rounds) {
+    constexpr int kThreads = 3;
+    constexpr int kOpsPerThread = 7;
+    constexpr int kKeys = 4;
+    for (int round = 0; round < rounds; ++round) {
+        auto dict = make();
+        recorder rec;
+        std::atomic<bool> go{false};
+        std::vector<std::thread> ts;
+        for (int t = 0; t < kThreads; ++t) {
+            ts.emplace_back([&, t] {
+                xorshift64 rng(0x5EA + static_cast<std::uint64_t>(round) * 131 +
+                               static_cast<std::uint64_t>(t) * 7);
+                while (!go.load(std::memory_order_acquire)) {
+                }
+                for (int i = 0; i < kOpsPerThread; ++i) {
+                    const int k = static_cast<int>(rng.next_below(kKeys));
+                    switch (rng.next() % 4) {
+                        case 0:
+                            rec.record(t, op_kind::insert, k,
+                                       [&] { return dict->insert(k); });
+                            break;
+                        case 1:
+                            rec.record(t, op_kind::erase, k, [&] { return dict->erase(k); });
+                            break;
+                        case 2:
+                            rec.record(t, op_kind::contains, k,
+                                       [&] { return dict->contains(k); });
+                            break;
+                        default: {
+                            const int lo = k;
+                            const int hi = k + 1 + static_cast<int>(rng.next_below(kKeys));
+                            rec.record_range(t, lo, hi,
+                                             [&] { return dict->range(lo, hi); });
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        go.store(true, std::memory_order_release);
+        for (auto& th : ts) th.join();
+        ASSERT_TRUE(lin::is_linearizable(rec.history))
+            << "round " << round << "\n"
+            << lin::describe(rec.history);
+    }
+}
+
 // Set-interface shims.
 struct flat_shim {
     sorted_list_map<int, int> m{64};
     bool insert(int k) { return m.insert(k, k); }
     bool erase(int k) { return m.erase(k); }
     bool contains(int k) { return m.contains(k); }
+    std::vector<int> range(int lo, int hi) {
+        std::vector<int> out;
+        for (const auto& kv : m.range_query(lo, hi)) out.push_back(kv.first);
+        return out;
+    }
 };
 struct hash_shim {
     hash_map<int, int> m{4, 8};
@@ -165,12 +271,31 @@ struct skip_shim {
     bool insert(int k) { return m.insert(k, k); }
     bool erase(int k) { return m.erase(k); }
     bool contains(int k) { return m.contains(k); }
+    std::vector<int> range(int lo, int hi) {
+        std::vector<int> out;
+        for (const auto& kv : m.range_query(lo, hi)) out.push_back(kv.first);
+        return out;
+    }
 };
 struct bst_shim {
     bst_set<int> m{128};
     bool insert(int k) { return m.insert(k); }
     bool erase(int k) { return m.erase(k); }
     bool contains(int k) { return m.contains(k); }
+    std::vector<int> range(int lo, int hi) { return m.range_query(lo, hi); }
+};
+struct so_shim {
+    // Tiny directory + low max-load: resizes happen DURING the recorded
+    // histories, so range queries span bucket splits.
+    split_ordered_map<int, int> m{2, 32};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+    std::vector<int> range(int lo, int hi) {
+        std::vector<int> out;
+        for (const auto& kv : m.range_query(lo, hi)) out.push_back(kv.first);
+        return out;
+    }
 };
 struct hm_shim {
     harris_michael_list<int, int> m;
@@ -195,6 +320,19 @@ TEST(Linearizability, BstSet) {
 }
 TEST(Linearizability, HarrisMichael) {
     check_structure([] { return std::make_unique<hm_shim>(); }, kRounds);
+}
+
+TEST(Linearizability, SortedListMapRange) {
+    check_structure_rq([] { return std::make_unique<flat_shim>(); }, kRounds);
+}
+TEST(Linearizability, SplitOrderedMapRange) {
+    check_structure_rq([] { return std::make_unique<so_shim>(); }, kRounds);
+}
+TEST(Linearizability, SkipListMapRange) {
+    check_structure_rq([] { return std::make_unique<skip_shim>(); }, kRounds);
+}
+TEST(Linearizability, BstSetRange) {
+    check_structure_rq([] { return std::make_unique<bst_shim>(); }, kRounds);
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+// Side-arena reclamation audit (§5 discipline applied to payloads): the
+// per-chunk live counts must balance emplace/release exactly, trim()
+// must return fully-released chunks without touching live payloads, and
+// the original append-only mode (never release) must keep every byte
+// stable. Destruction counting uses an instrumented payload so leaks
+// and double-destroys are both visible.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lfll/memory/side_arena.hpp"
+#include "test_scale.hpp"
+
+namespace {
+
+using namespace lfll;
+
+struct counted_payload {
+    static std::atomic<int> live;
+    int v;
+    explicit counted_payload(int x) : v(x) { live.fetch_add(1); }
+    counted_payload(const counted_payload& o) : v(o.v) { live.fetch_add(1); }
+    ~counted_payload() { live.fetch_sub(1); }
+};
+std::atomic<int> counted_payload::live{0};
+
+TEST(SideArena, LiveCountBalancesEmplaceAndRelease) {
+    side_arena<int> a(8);
+    std::vector<arena_ref<int>> refs;
+    for (int i = 0; i < 100; ++i) refs.push_back(a.emplace(i));
+    EXPECT_EQ(a.live_count(), 100u);
+    EXPECT_EQ(a.size(), 100u);
+    for (int i = 0; i < 100; i += 2) a.release(refs[i]);
+    EXPECT_EQ(a.live_count(), 50u);
+    for (int i = 1; i < 100; i += 2) EXPECT_EQ(*refs[i], i);  // still readable
+    for (int i = 1; i < 100; i += 2) a.release(refs[i]);
+    EXPECT_EQ(a.live_count(), 0u);
+}
+
+TEST(SideArena, TrimReclaimsFullyReleasedChunksOnly) {
+    counted_payload::live.store(0);
+    {
+        side_arena<counted_payload> a(8);
+        std::vector<arena_ref<counted_payload>> refs;
+        for (int i = 0; i < 64; ++i) refs.push_back(a.emplace(i));
+        const std::size_t cap_full = a.capacity_bytes();
+
+        // Release everything in the older chunks; keep the newest 8 live.
+        for (int i = 0; i < 56; ++i) a.release(refs[i]);
+        const std::size_t freed = a.trim();
+        EXPECT_GE(freed, 6u);  // 64 slots / 8 per chunk, head retained
+        EXPECT_LT(a.capacity_bytes(), cap_full);
+        EXPECT_EQ(a.live_count(), 8u);
+        // Trimmed chunks ran their destructors; live payloads did not.
+        EXPECT_EQ(counted_payload::live.load(), 8);
+        for (int i = 56; i < 64; ++i) EXPECT_EQ(refs[i]->v, i);
+
+        // A second trim with nothing newly released is a no-op.
+        EXPECT_EQ(a.trim(), 0u);
+
+        // New emplaces after a trim land in fresh storage and work.
+        auto r = a.emplace(777);
+        EXPECT_EQ(r->v, 777);
+    }
+    EXPECT_EQ(counted_payload::live.load(), 0) << "arena dtor leaked payloads";
+}
+
+TEST(SideArena, TrimKeepsPartiallyLiveChunks) {
+    counted_payload::live.store(0);
+    side_arena<counted_payload> a(8);
+    std::vector<arena_ref<counted_payload>> refs;
+    for (int i = 0; i < 24; ++i) refs.push_back(a.emplace(i));
+    // One survivor per chunk: nothing is reclaimable.
+    for (int i = 0; i < 24; ++i) {
+        if (i % 8 != 3) a.release(refs[i]);
+    }
+    EXPECT_EQ(a.trim(), 0u);
+    EXPECT_EQ(counted_payload::live.load(), 24);  // no destructor ran
+    for (int i = 3; i < 24; i += 8) EXPECT_EQ(refs[i]->v, i);
+}
+
+TEST(SideArena, ResetStillClearsEverything) {
+    counted_payload::live.store(0);
+    side_arena<counted_payload> a(8);
+    std::vector<arena_ref<counted_payload>> refs;
+    for (int i = 0; i < 40; ++i) refs.push_back(a.emplace(i));
+    for (int i = 0; i < 10; ++i) a.release(refs[i]);  // partial release is fine
+    a.reset();
+    EXPECT_EQ(counted_payload::live.load(), 0);
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_EQ(a.live_count(), 0u);
+    auto r = a.emplace(5);
+    EXPECT_EQ(r->v, 5);
+}
+
+TEST(SideArena, ConcurrentEmplaceReleaseThenQuiescentTrim) {
+    side_arena<std::string> a(64);
+    constexpr int kThreads = 4;
+    const int per_thread = lfll_test::scaled(5000);
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            // Full churn: every handle released. The counters must
+            // balance no matter how emplaces interleave across chunks.
+            for (int i = 0; i < per_thread; ++i) {
+                arena_ref<std::string> r =
+                    a.emplace("payload-" + std::to_string(t * 1000000 + i));
+                EXPECT_EQ(*r, "payload-" + std::to_string(t * 1000000 + i));
+                a.release(r);
+            }
+        });
+    }
+    for (auto& th : ts) th.join();
+
+    EXPECT_EQ(a.live_count(), 0u);
+    const std::size_t cap_before = a.capacity_bytes();
+    EXPECT_GT(a.trim(), 0u);  // quiescent: every non-head chunk reclaimable
+    EXPECT_LT(a.capacity_bytes(), cap_before)
+        << "churny arena did not shrink under trim";
+    // The arena remains usable: fresh payloads after the trim.
+    auto r = a.emplace("after-trim");
+    EXPECT_EQ(*r, "after-trim");
+    EXPECT_EQ(a.live_count(), 1u);
+}
+
+}  // namespace

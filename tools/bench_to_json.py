@@ -9,7 +9,9 @@ trajectory:
     LFLL_BENCH_CSV=1 ./bench_e9_alloc | bench_to_json.py bench_e9_alloc > BENCH_alloc.json
 
 Numeric-looking cells are emitted both raw (`"17.9M"`) and decoded
-(`17900000.0`) under `<column>` and `<column>_value`.
+(`17900000.0`) under `<column>` and `<column>_value`. Percent cells
+(bench_e11_rangequery's ratio columns) decode to their numeric part:
+`"85.0%"` -> `85.0`.
 
 Google-benchmark console output (bench_e7_saferead) is recognized in the
 same stream: `BM_*` rows land in a table titled "google-benchmark" with
@@ -25,7 +27,7 @@ import re
 import sys
 
 SI = {"k": 1e3, "M": 1e6, "G": 1e9}
-NUM_RE = re.compile(r"^(-?\d+(?:\.\d+)?)([kMG]?)$")
+NUM_RE = re.compile(r"^(-?\d+(?:\.\d+)?)([kMG]?|%)$")
 
 # One google-benchmark console row:
 #   BM_Name      30357 ns        29887 ns         5800 counter=1.2M/s ...
@@ -39,7 +41,7 @@ def decode(cell):
     m = NUM_RE.match(cell.strip())
     if not m:
         return None
-    return float(m.group(1)) * SI.get(m.group(2), 1.0)
+    return float(m.group(1)) * SI.get(m.group(2), 1.0)  # "%" scales by 1
 
 
 def gbench_row(m):
