@@ -414,6 +414,17 @@ public:
         node* a = make_aux();
         while (!try_insert(c, q, a)) update(c);
         pool_->unref(a);
+        land_on_inserted(c, q);
+    }
+
+    /// After a winning try_insert(c, q, a): repoint the cursor AT the
+    /// freshly linked cell, consuming the caller's allocation reference
+    /// on q. The winning swing left pre_aux->next == q, so the landed
+    /// triple is valid by construction. Batched multi-ops resume the next
+    /// key's seek from here — a later equal-key op in the same batch must
+    /// observe the cell this one linked.
+    void land_on_inserted(cursor& c, node* q) noexcept {
+        assert(c.list_ == this && q->is_cell());
         if constexpr (pool_type::counts_traversal) {
             pool_->drop(c.target_);
             c.target_ = q;  // q's alloc reference becomes the cursor's

@@ -23,6 +23,7 @@
 // either config struct.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -30,6 +31,7 @@
 #include <optional>
 #include <vector>
 
+#include "lfll/dict/batch.hpp"
 #include "lfll/dict/split_ordered_map.hpp"
 #include "lfll/telemetry/profiler.hpp"
 
@@ -75,6 +77,61 @@ public:
         const std::size_t s = shard_of(key);
         telemetry::prof::note_shard(static_cast<std::int64_t>(s));
         return shards_[s]->contains(key);
+    }
+
+    /// Executes `n` independent ops batched PER SHARD: ops are
+    /// stable-sorted by shard, each shard run is gathered into a
+    /// contiguous sub-batch and served by that shard's sorted cursor
+    /// pass (Map::apply_batch), and results are scattered back to the
+    /// callers' original indices. Shard routing is computed once per op
+    /// here — the per-shard pass pays it never again.
+    void apply_batch(const batch_op<key_type, mapped_type>* ops, std::size_t n,
+                     batch_result<mapped_type>* out) {
+        if (n == 0) return;
+        if (shards_.size() == 1) {
+            telemetry::prof::note_shard(0);
+            shards_[0]->apply_batch(ops, n, out);
+            return;
+        }
+        std::vector<std::uint32_t> order(n);
+        for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+        std::vector<std::uint32_t> shard_ids(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            shard_ids[i] = static_cast<std::uint32_t>(shard_of(ops[i].key));
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return shard_ids[a] < shard_ids[b];
+                         });
+        std::vector<batch_op<key_type, mapped_type>> run_ops;
+        std::vector<batch_result<mapped_type>> run_out;
+        std::size_t lo = 0;
+        while (lo < n) {
+            const std::uint32_t s = shard_ids[order[lo]];
+            std::size_t hi = lo + 1;
+            while (hi < n && shard_ids[order[hi]] == s) ++hi;
+            telemetry::prof::note_shard(static_cast<std::int64_t>(s));
+            run_ops.clear();
+            run_ops.reserve(hi - lo);
+            for (std::size_t i = lo; i < hi; ++i) run_ops.push_back(ops[order[i]]);
+            run_out.assign(hi - lo, {});
+            shards_[s]->apply_batch(run_ops.data(), run_ops.size(), run_out.data());
+            for (std::size_t i = lo; i < hi; ++i) out[order[i]] = std::move(run_out[i - lo]);
+            lo = hi;
+        }
+    }
+
+    /// Batched conveniences over apply_batch; results in input order.
+    std::vector<std::optional<mapped_type>> multi_get(
+        const std::vector<key_type>& keys) {
+        return batch_detail::multi_get(*this, keys);
+    }
+    std::vector<bool> multi_insert(
+        const std::vector<std::pair<key_type, mapped_type>>& kvs) {
+        return batch_detail::multi_insert(*this, kvs);
+    }
+    std::vector<bool> multi_erase(const std::vector<key_type>& keys) {
+        return batch_detail::multi_erase(*this, keys);
     }
 
     template <typename F>

@@ -41,6 +41,7 @@
 
 #include "lfll/core/list.hpp"
 #include "lfll/core/rq.hpp"
+#include "lfll/dict/batch.hpp"
 #include "lfll/primitives/backoff.hpp"
 #include "lfll/primitives/instrument.hpp"
 #include "lfll/primitives/test_hooks.hpp"
@@ -54,6 +55,8 @@ template <typename Key, typename Value, typename Compare = std::less<Key>,
 class sorted_list_map {
 public:
     using policy_type = Policy;
+    using key_type = Key;
+    using mapped_type = Value;
     using value_type = std::pair<const Key, Value>;
     using list_type = valois_list<value_type, Policy>;
     using cursor = typename list_type::cursor;
@@ -99,39 +102,7 @@ public:
         telemetry::prof::op_scope prof_op(telemetry::trace_op::insert,
                                           telemetry::key_hash(key));
         cursor c(list_);
-        node* q = nullptr;
-        node* a = nullptr;
-        backoff bo(backoff_cfg_);
-        for (;;) {
-            if (find_from(key, c)) {
-                if (q != nullptr) {
-                    list_.release_node(q);
-                    list_.release_node(a);
-                }
-                return false;
-            }
-            if (q == nullptr) {
-                q = list_.make_cell(key, std::move(value));
-                a = list_.make_aux();
-            }
-            if (list_.try_insert(c, q, a)) {
-                // Version-stamp AFTER the winning swing: the timestamp is
-                // drawn later than the link CAS in seq_cst order, which
-                // is what lets readers treat born <= t as "linked before
-                // my linearization point". Until the stamp lands the
-                // cell reads as "insert in flight" to range queries.
-                q->born_ts.store(rq_.now(), std::memory_order_release);
-                testing_hooks::chaos_point(sched::step_kind::version_publish);
-                list_.release_node(q);
-                list_.release_node(a);
-                return true;
-            }
-            {
-                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
-                bo();
-                list_.update(c);
-            }
-        }
+        return insert_at(c, key, std::move(value));
     }
 
     /// Fig. 13 (Delete): removes the cell with `key`; false if absent.
@@ -142,27 +113,69 @@ public:
         telemetry::prof::op_scope prof_op(telemetry::trace_op::erase,
                                           telemetry::key_hash(key));
         cursor c(list_);
-        if (!find_from(key, c)) return false;
-        node* victim = c.target();
-        const std::uint64_t d = rq_.now();
-        testing_hooks::chaos_point(sched::step_kind::version_publish);
-        std::uint64_t expected = rq::kInfTs;
-        if (!victim->dead_ts.compare_exchange_strong(expected, d,
-                                                     std::memory_order_seq_cst,
-                                                     std::memory_order_acquire)) {
-            // Lost the mark race: a concurrent erase owns this cell, so
-            // the key is absent at our linearization point.
-            instrument::tls().delete_retries++;
-            return false;
+        return erase_at(c, key);
+    }
+
+    /// Executes `n` independent ops as ONE sorted cursor pass: the ops
+    /// are stable-sorted by key and key i+1's seek resumes from key i's
+    /// referenced landing cell (find_from never restarts at First).
+    /// Results are written at each op's ORIGINAL index. Each sub-op keeps
+    /// its individual linearization point (see batch.hpp); same-key ops
+    /// take effect in submission order because the sort is stable and
+    /// the cursor lands ON inserted cells / tombstoned victims.
+    void apply_batch(const batch_op<Key, Value>* ops, std::size_t n,
+                     batch_result<Value>* out) {
+        if (n == 0) return;
+        std::vector<std::uint32_t> order(n);
+        for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return cmp_(ops[a].key, ops[b].key);
+                         });
+        cursor c(list_);
+        for (std::uint32_t idx : order) {
+            const batch_op<Key, Value>& op = ops[idx];
+            // The cursor-resume handoff between sub-ops: a preemption here
+            // lets concurrent mutators restructure the neighbourhood the
+            // resumed seek starts from.
+            testing_hooks::chaos_point(sched::step_kind::batch_drain);
+            switch (op.kind) {
+                case batch_op_kind::get: {
+                    telemetry::prof::op_scope prof_op(telemetry::trace_op::find,
+                                                      telemetry::key_hash(op.key));
+                    if (find_from(op.key, c)) {
+                        out[idx].ok = true;
+                        out[idx].value.emplace((*c).second);
+                    } else {
+                        out[idx].ok = false;
+                    }
+                    break;
+                }
+                case batch_op_kind::insert: {
+                    telemetry::prof::op_scope prof_op(telemetry::trace_op::insert,
+                                                      telemetry::key_hash(op.key));
+                    out[idx].ok = insert_at(c, op.key, op.value);
+                    break;
+                }
+                case batch_op_kind::erase: {
+                    telemetry::prof::op_scope prof_op(telemetry::trace_op::erase,
+                                                      telemetry::key_hash(op.key));
+                    out[idx].ok = erase_at(c, op.key);
+                    break;
+                }
+            }
         }
-        // We own the erase. Publish the closed interval to any range
-        // query that could still need it, then unlink (Fig. 10).
-        if (rq_.armed()) {
-            rq_.hand_off(rq_victim{victim->value().first, victim->value().second,
-                                   victim->born_ts.load(std::memory_order_acquire), d});
-        }
-        unlink_marked(key, victim, c);
-        return true;
+    }
+
+    /// Batched conveniences over apply_batch; results in input order.
+    std::vector<std::optional<Value>> multi_get(const std::vector<Key>& keys) {
+        return batch_detail::multi_get(*this, keys);
+    }
+    std::vector<bool> multi_insert(const std::vector<std::pair<Key, Value>>& kvs) {
+        return batch_detail::multi_insert(*this, kvs);
+    }
+    std::vector<bool> multi_erase(const std::vector<Key>& keys) {
+        return batch_detail::multi_erase(*this, keys);
     }
 
     /// Dictionary Find: copies out the mapped value if present. The copy
@@ -254,6 +267,84 @@ public:
     list_type& list() noexcept { return list_; }
 
 private:
+    /// Insert protocol body, resuming the seek from wherever `c` stands
+    /// (a fresh cursor or the previous batch sub-op's landing cell). On
+    /// success the cursor lands ON the inserted cell so a later equal-key
+    /// op in the same batch observes it; on "already present" it rests on
+    /// the existing live match.
+    bool insert_at(cursor& c, const Key& key, Value value) {
+        node* q = nullptr;
+        node* a = nullptr;
+        backoff bo(backoff_cfg_);
+        for (;;) {
+            if (find_from(key, c)) {
+                if (q != nullptr) {
+                    list_.release_node(q);
+                    list_.release_node(a);
+                }
+                return false;
+            }
+            if (q == nullptr) {
+                q = list_.make_cell(key, std::move(value));
+                a = list_.make_aux();
+            }
+            if (list_.try_insert(c, q, a)) {
+                // Version-stamp AFTER the winning swing: the timestamp is
+                // drawn later than the link CAS in seq_cst order, which
+                // is what lets readers treat born <= t as "linked before
+                // my linearization point". Until the stamp lands the
+                // cell reads as "insert in flight" to range queries.
+                q->born_ts.store(rq_.now(), std::memory_order_release);
+                testing_hooks::chaos_point(sched::step_kind::version_publish);
+                list_.release_node(a);
+                list_.land_on_inserted(c, q);
+                return true;
+            }
+            {
+                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
+                bo();
+                list_.update(c);
+            }
+        }
+    }
+
+    /// Erase protocol body, resuming from `c`. Afterwards the cursor
+    /// rests on the tombstoned victim (or past the key's cluster on the
+    /// unlink-drift path) — both positions frozen-next-link back into the
+    /// live suffix, so the next sorted sub-op's seek resumes safely.
+    bool erase_at(cursor& c, const Key& key) {
+        if (!find_from(key, c)) return false;
+        node* victim = c.target();
+        const std::uint64_t d = rq_.now();
+        testing_hooks::chaos_point(sched::step_kind::version_publish);
+        std::uint64_t expected = rq::kInfTs;
+        if (!victim->dead_ts.compare_exchange_strong(expected, d,
+                                                     std::memory_order_seq_cst,
+                                                     std::memory_order_acquire)) {
+            // Lost the mark race: a concurrent erase owns this cell, so
+            // the key is absent at our linearization point.
+            instrument::tls().delete_retries++;
+            return false;
+        }
+        // We own the erase. Publish the closed interval to any range
+        // query that could still need it, then unlink (Fig. 10).
+        if (rq_.armed()) {
+            rq_.hand_off(rq_victim{victim->value().first, victim->value().second,
+                                   victim->born_ts.load(std::memory_order_acquire), d});
+        }
+        unlink_marked(key, victim, c);
+        // Re-derive the cursor at the erase site. Beyond recovering the
+        // documented post-try_delete invalidity, reposition() compacts
+        // the aux chain the unlink left at pre_cell->next — try_delete's
+        // own compaction is best-effort under deferred policies (a
+        // retired pre_cell nulls the back-link trail), and §3's "the
+        // next traversal finishes it" argument needs an actual next
+        // traversal, which a single-pass batch would otherwise never
+        // make through this neighbourhood.
+        list_.update(c);
+        return true;
+    }
+
     /// Victim record handed to in-flight range queries when a marked cell
     /// is about to be physically unlinked.
     struct rq_victim {

@@ -58,6 +58,7 @@
 
 #include "lfll/core/list.hpp"
 #include "lfll/core/rq.hpp"
+#include "lfll/dict/batch.hpp"
 #include "lfll/primitives/backoff.hpp"
 #include "lfll/primitives/cacheline.hpp"
 #include "lfll/primitives/instrument.hpp"
@@ -211,42 +212,9 @@ public:
         telemetry::prof::op_scope prof_op(telemetry::trace_op::insert,
                                           telemetry::key_hash(key));
         const std::uint64_t h = hash_of(key);
-        const std::uint64_t so = so_detail::so_regular(h);
         cursor c;
         anchor(h, c);
-        node* q = nullptr;
-        node* a = nullptr;
-        backoff bo(backoff_cfg_);
-        for (;;) {
-            if (find_from_so(so, key, c)) {
-                if (q != nullptr) {
-                    list_.release_node(q);
-                    list_.release_node(a);
-                }
-                return false;
-            }
-            if (q == nullptr) {
-                q = list_.make_cell(entry{so, key, std::move(value)});
-                a = list_.make_aux();
-            }
-            if (list_.try_insert(c, q, a)) {
-                // Version-stamp AFTER the winning swing (see
-                // sorted_list_map: zero reads as "insert in flight").
-                q->born_ts.store(rq_.now(), std::memory_order_release);
-                testing_hooks::chaos_point(sched::step_kind::version_publish);
-                list_.release_node(q);
-                list_.release_node(a);
-                break;
-            }
-            {
-                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
-                bo();
-                list_.update(c);
-            }
-        }
-        size_add(1);
-        maybe_resize();
-        return true;
+        return insert_at_so(c, so_detail::so_regular(h), key, std::move(value));
     }
 
     bool erase(const Key& key) {
@@ -254,40 +222,86 @@ public:
         telemetry::prof::op_scope prof_op(telemetry::trace_op::erase,
                                           telemetry::key_hash(key));
         const std::uint64_t h = hash_of(key);
-        const std::uint64_t so = so_detail::so_regular(h);
         cursor c;
         anchor(h, c);
-        // so has its low bit set, so a match can never be a dummy:
-        // bucket sentinels are structurally undeletable here.
-        if (!find_from_so(so, key, c)) {
-            // Still tick the load-factor check: decay workloads are
-            // dominated by erase misses once keys drain, and shrink used
-            // to stall entirely because only *successful* updates ever
-            // re-checked the load (D1 residual).
-            maybe_resize();
-            return false;
+        return erase_at_so(c, so_detail::so_regular(h), key);
+    }
+
+    /// Executes `n` independent ops as a split-order-sorted cursor pass,
+    /// binned into bucket runs: ops are stable-sorted by (split-order
+    /// key, key), the cursor re-anchors at a bucket's dummy when the run
+    /// changes and RESUMES within a run. The bucket binning samples the
+    /// mask once — purely a perf heuristic: all entries live in the one
+    /// so-sorted list, so a concurrent resize only costs an extra
+    /// re-anchor, never correctness. Results land at each op's original
+    /// index; every sub-op keeps its individual linearization point and
+    /// its own load-factor tick (see batch.hpp / sorted_list_map).
+    void apply_batch(const batch_op<Key, Value>* ops, std::size_t n,
+                     batch_result<Value>* out) {
+        if (n == 0) return;
+        std::vector<std::uint64_t> hs(n);
+        std::vector<std::uint64_t> sos(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            hs[i] = hash_of(ops[i].key);
+            sos[i] = so_detail::so_regular(hs[i]);
         }
-        node* victim = c.target();
-        const std::uint64_t d = rq_.now();
-        testing_hooks::chaos_point(sched::step_kind::version_publish);
-        std::uint64_t expected = rq::kInfTs;
-        if (!victim->dead_ts.compare_exchange_strong(expected, d,
-                                                     std::memory_order_seq_cst,
-                                                     std::memory_order_acquire)) {
-            // Lost the mark race: a concurrent erase owns this cell.
-            instrument::tls().delete_retries++;
-            maybe_resize();
-            return false;
+        std::vector<std::uint32_t> order(n);
+        for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+        // (so, key) mirrors the list's sort order (find_from_so's
+        // predicate); stable keeps same-key ops in submission order.
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             if (sos[a] != sos[b]) return sos[a] < sos[b];
+                             return cmp_(ops[a].key, ops[b].key);
+                         });
+        const std::size_t m = mask();
+        cursor c;
+        std::size_t run_bucket = ~std::size_t{0};
+        for (std::uint32_t idx : order) {
+            const batch_op<Key, Value>& op = ops[idx];
+            testing_hooks::chaos_point(sched::step_kind::batch_drain);
+            const std::size_t b = hs[idx] & m;
+            if (b != run_bucket) {
+                anchor(hs[idx], c);  // new bucket run: jump to its dummy
+                run_bucket = b;
+            }
+            switch (op.kind) {
+                case batch_op_kind::get: {
+                    telemetry::prof::op_scope prof_op(telemetry::trace_op::find,
+                                                      telemetry::key_hash(op.key));
+                    if (find_from_so(sos[idx], op.key, c)) {
+                        out[idx].ok = true;
+                        out[idx].value.emplace((*c).value);
+                    } else {
+                        out[idx].ok = false;
+                    }
+                    break;
+                }
+                case batch_op_kind::insert: {
+                    telemetry::prof::op_scope prof_op(telemetry::trace_op::insert,
+                                                      telemetry::key_hash(op.key));
+                    out[idx].ok = insert_at_so(c, sos[idx], op.key, op.value);
+                    break;
+                }
+                case batch_op_kind::erase: {
+                    telemetry::prof::op_scope prof_op(telemetry::trace_op::erase,
+                                                      telemetry::key_hash(op.key));
+                    out[idx].ok = erase_at_so(c, sos[idx], op.key);
+                    break;
+                }
+            }
         }
-        if (rq_.armed()) {
-            const entry& e = victim->value();
-            rq_.hand_off(rq_victim{e.key, e.value,
-                                   victim->born_ts.load(std::memory_order_acquire), d});
-        }
-        unlink_marked(so, key, victim, c);
-        size_add(-1);
-        maybe_resize();
-        return true;
+    }
+
+    /// Batched conveniences over apply_batch; results in input order.
+    std::vector<std::optional<Value>> multi_get(const std::vector<Key>& keys) {
+        return batch_detail::multi_get(*this, keys);
+    }
+    std::vector<bool> multi_insert(const std::vector<std::pair<Key, Value>>& kvs) {
+        return batch_detail::multi_insert(*this, kvs);
+    }
+    std::vector<bool> multi_erase(const std::vector<Key>& keys) {
+        return batch_detail::multi_erase(*this, keys);
     }
 
     /// Copies out the mapped value if present, via the light scan rooted
@@ -557,6 +571,88 @@ private:
         if (so_detail::is_dummy_key(so)) return true;
         if (cmp_(key, e.key) || cmp_(e.key, key)) return false;  // different key
         return c.target()->dead_ts.load(std::memory_order_acquire) == rq::kInfTs;
+    }
+
+    /// Insert protocol body, resuming the seek from wherever `c` stands
+    /// (a fresh anchor or the previous batch sub-op's landing cell). On
+    /// success the cursor lands ON the inserted cell (a later equal-key
+    /// op in the same batch must observe it) and this op takes its own
+    /// size/load-factor tick.
+    bool insert_at_so(cursor& c, std::uint64_t so, const Key& key, Value value) {
+        node* q = nullptr;
+        node* a = nullptr;
+        backoff bo(backoff_cfg_);
+        for (;;) {
+            if (find_from_so(so, key, c)) {
+                if (q != nullptr) {
+                    list_.release_node(q);
+                    list_.release_node(a);
+                }
+                return false;
+            }
+            if (q == nullptr) {
+                q = list_.make_cell(entry{so, key, std::move(value)});
+                a = list_.make_aux();
+            }
+            if (list_.try_insert(c, q, a)) {
+                // Version-stamp AFTER the winning swing (see
+                // sorted_list_map: zero reads as "insert in flight").
+                q->born_ts.store(rq_.now(), std::memory_order_release);
+                testing_hooks::chaos_point(sched::step_kind::version_publish);
+                list_.release_node(a);
+                list_.land_on_inserted(c, q);
+                break;
+            }
+            {
+                telemetry::prof::phase_scope prof_retry(telemetry::prof::phase::cas_retry);
+                bo();
+                list_.update(c);
+            }
+        }
+        size_add(1);
+        maybe_resize();
+        return true;
+    }
+
+    /// Erase protocol body, resuming from `c`; every path ticks the
+    /// load-factor check (decay workloads are dominated by erase misses).
+    bool erase_at_so(cursor& c, std::uint64_t so, const Key& key) {
+        // so has its low bit set, so a match can never be a dummy:
+        // bucket sentinels are structurally undeletable here.
+        if (!find_from_so(so, key, c)) {
+            // Still tick the load-factor check: decay workloads are
+            // dominated by erase misses once keys drain, and shrink used
+            // to stall entirely because only *successful* updates ever
+            // re-checked the load (D1 residual).
+            maybe_resize();
+            return false;
+        }
+        node* victim = c.target();
+        const std::uint64_t d = rq_.now();
+        testing_hooks::chaos_point(sched::step_kind::version_publish);
+        std::uint64_t expected = rq::kInfTs;
+        if (!victim->dead_ts.compare_exchange_strong(expected, d,
+                                                     std::memory_order_seq_cst,
+                                                     std::memory_order_acquire)) {
+            // Lost the mark race: a concurrent erase owns this cell.
+            instrument::tls().delete_retries++;
+            maybe_resize();
+            return false;
+        }
+        if (rq_.armed()) {
+            const entry& e = victim->value();
+            rq_.hand_off(rq_victim{e.key, e.value,
+                                   victim->born_ts.load(std::memory_order_acquire), d});
+        }
+        unlink_marked(so, key, victim, c);
+        // Compact the aux chain the unlink left behind (see the
+        // sorted_list_map::erase_at note): a single-pass batch makes no
+        // later traversal through this neighbourhood, and try_delete's
+        // own compaction is best-effort under deferred policies.
+        list_.update(c);
+        size_add(-1);
+        maybe_resize();
+        return true;
     }
 
     bool same_entry_key(const entry& e, std::uint64_t so, const Key& key) const {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "lfll/harness/latency.hpp"
+#include "lfll/harness/pipeline.hpp"
 #include "lfll/harness/runner.hpp"
 #include "lfll/harness/stats.hpp"
 #include "lfll/harness/workload.hpp"
@@ -53,6 +54,22 @@ struct kv_service_config {
     std::uint32_t sample_shift = 4;
     /// Per-shard gauge sampling cadence while clients run.
     int telemetry_interval_ms = 25;
+    /// Pipelined mode: 0 (default) = the classic one-op-per-call path;
+    /// W > 0 = each client submits W async requests through a
+    /// request_pipeline and then completes the window, so shard
+    /// executors see real batches. Ignored (falls back to one-op-per-
+    /// call) when the store's shard maps lack apply_batch.
+    std::size_t pipeline_window = 0;
+    /// Executor knobs for pipelined mode (batch_max / batch_wait_us /
+    /// ring capacity; defaults follow LFLL_BATCH_MAX / LFLL_BATCH_WAIT_US).
+    pipeline_config pipeline{};
+    /// 0 = closed-loop saturation (clients issue as fast as the store
+    /// answers). >0 = open-loop: clients collectively pace to this many
+    /// logical ops/s, sleeping between requests (or submit windows), so
+    /// latency is measured at EQUAL OFFERED LOAD across submission modes
+    /// — at saturation, p99 only reflects how many requests each mode
+    /// keeps in flight (Little's law), not how well it serves them.
+    std::uint64_t pace_ops_per_sec = 0;
 };
 
 struct kv_report {
@@ -65,6 +82,11 @@ struct kv_report {
     std::uint64_t shrinks = 0;
     std::uint64_t dummies = 0;       ///< buckets lazily initialized
     std::size_t size_after = 0;      ///< live entries at quiescence
+    /// Logical ops per client call into the store: 1.0 on the classic
+    /// path, the submit window in pipelined mode. run.total_ops counts
+    /// LOGICAL ops in both modes, so throughput rows divide out
+    /// comparably; this field records how they were submitted.
+    double ops_per_request = 1.0;
     /// Sampled-profiler phase attribution over this run: per-phase count,
     /// total ns, and p50/p99 ns across the sampled requests. Empty when
     /// the profiler is disabled or nothing was sampled in the window.
@@ -134,6 +156,43 @@ void sample_shard(const Map& m, const shard_gauges& g) {
     }
 }
 
+/// Open-loop pacing: spaces one client's issue points so the fleet
+/// collectively offers pace_ops_per_sec logical ops. The schedule is
+/// absolute (next += period) so sleep overshoot does not accumulate,
+/// but a backlog deeper than a few periods resets to "now" — a stalled
+/// client must not repay its debt as a burst that re-saturates the
+/// store and poisons the equal-load comparison.
+struct pacer {
+    std::chrono::nanoseconds period{0};
+    std::chrono::steady_clock::time_point next{};
+
+    pacer(std::uint64_t ops_per_sec, int clients, std::uint64_t ops_per_tick,
+          int phase = 0) {
+        if (ops_per_sec == 0) return;
+        const int n = clients < 1 ? 1 : clients;
+        const double per_client_hz =
+            static_cast<double>(ops_per_sec) / static_cast<double>(n);
+        period = std::chrono::nanoseconds(static_cast<std::uint64_t>(
+            1e9 * static_cast<double>(ops_per_tick) / per_client_hz));
+        // Stagger the fleet across one period: clients all start at the
+        // same instant, so a shared phase would fire every issue point
+        // as one synchronized burst and measure convoy latency instead
+        // of the offered load.
+        next = std::chrono::steady_clock::now() + (period * phase) / n;
+    }
+
+    void tick() {
+        if (period.count() == 0) return;
+        next += period;
+        const auto now = std::chrono::steady_clock::now();
+        if (next + 4 * period < now) {
+            next = now;  // cap the catch-up backlog
+        } else if (next > now) {
+            std::this_thread::sleep_until(next);
+        }
+    }
+};
+
 }  // namespace kv_detail
 
 /// Drives `store` with cfg.clients request threads for cfg.millis, per
@@ -181,11 +240,15 @@ kv_report run_kv_service(Store& store, const kv_service_config& cfg) {
     // Snapshot the profiler's phase histograms so the report's attribution
     // covers exactly this run, not whatever ran before it in the process.
     telemetry::prof::phase_delta prof_delta;
-    rep.run = run_timed(cfg.clients, cfg.millis, [&](int tid, std::atomic<bool>& stop) {
+
+    // The classic one-op-per-call client.
+    auto direct_worker = [&](int tid, std::atomic<bool>& stop) {
         xorshift64 rng(0xABCD0000ULL + static_cast<std::uint64_t>(tid) * 48271);
         latency_sampler lat(sink, cfg.sample_shift);
+        kv_detail::pacer pace(cfg.pace_ops_per_sec, cfg.clients, 1, tid);
         std::uint64_t ops = 0;
         while (!stop.load(std::memory_order_relaxed)) {
+            pace.tick();
             const std::uint64_t k64 =
                 zipf.has_value() ? (*zipf)(rng) : rng.next_below(cfg.key_range);
             const auto k = static_cast<key_type>(k64);
@@ -203,7 +266,75 @@ kv_report run_kv_service(Store& store, const kv_service_config& cfg) {
             ++ops;
         }
         return ops;
-    });
+    };
+
+    // Pipelined mode needs shard maps with apply_batch; stores without it
+    // (the fixed hash_map A/B rows) transparently keep the classic path.
+    constexpr bool batchable = requires {
+        std::declval<Store&>().shard_at(std::size_t{0}).apply_batch(
+            static_cast<const batch_op<key_type, typename Store::mapped_type>*>(
+                nullptr),
+            std::size_t{0},
+            static_cast<batch_result<typename Store::mapped_type>*>(nullptr));
+    };
+    if constexpr (batchable) {
+        if (cfg.pipeline_window > 0) {
+            const std::size_t window = cfg.pipeline_window;
+            rep.ops_per_request = static_cast<double>(window);
+            request_pipeline<Store> pipe(store, cfg.pipeline);
+            rep.run =
+                run_timed(cfg.clients, cfg.millis, [&](int tid, std::atomic<bool>& stop) {
+                    using pipe_type = request_pipeline<Store>;
+                    xorshift64 rng(0xABCD0000ULL +
+                                   static_cast<std::uint64_t>(tid) * 48271);
+                    latency_sampler lat(sink, cfg.sample_shift);
+                    kv_detail::pacer pace(cfg.pace_ops_per_sec, cfg.clients,
+                                          window, tid);
+                    std::vector<typename pipe_type::request> slots(window);
+                    std::uint64_t ops = 0;
+                    while (!stop.load(std::memory_order_relaxed)) {
+                        pace.tick();
+                        {
+                            // The sampled latency is the window HEAD's true
+                            // request latency: submit -> completion, queueing
+                            // and drain included (the guard closes right
+                            // after slot 0's wait).
+                            auto g = lat.measure();
+                            for (std::size_t w = 0; w < window; ++w) {
+                                const std::uint64_t k64 =
+                                    zipf.has_value() ? (*zipf)(rng)
+                                                     : rng.next_below(cfg.key_range);
+                                const auto k = static_cast<key_type>(k64);
+                                const int pick = static_cast<int>(rng.next_below(100));
+                                batch_op_kind kind;
+                                if (pick < mix.find_pct) {
+                                    kind = batch_op_kind::get;
+                                } else if (pick < mix.find_pct + mix.insert_pct) {
+                                    kind = batch_op_kind::insert;
+                                } else {
+                                    kind = batch_op_kind::erase;
+                                }
+                                // No executor wake: this worker completes
+                                // the window itself (inline drain), so
+                                // waking an executor only adds a switch.
+                                pipe.submit(
+                                    slots[w], kind, k,
+                                    static_cast<typename Store::mapped_type>(k),
+                                    /*wake=*/false);
+                            }
+                            pipe.complete(slots[0]);
+                        }
+                        for (std::size_t w = 1; w < window; ++w) pipe.complete(slots[w]);
+                        ops += window;
+                    }
+                    return ops;
+                });
+        } else {
+            rep.run = run_timed(cfg.clients, cfg.millis, direct_worker);
+        }
+    } else {
+        rep.run = run_timed(cfg.clients, cfg.millis, direct_worker);
+    }
 
     sampler_stop.store(true, std::memory_order_release);
     sampler.join();

@@ -41,9 +41,12 @@ enum class step_kind : std::uint8_t {
                      ///< publication of its version stamp or victim hand-off
     rq_validate,     ///< inside a range query's slot claim / activate / retire
                      ///< windows, where hand-off visibility is decided
+    batch_drain,     ///< between sub-ops of a sorted multi-op batch (the
+                     ///< cursor-resume handoff) and around a pipeline
+                     ///< executor's ring drain / completion publish
 };
 
-inline constexpr int step_kind_count = 22;
+inline constexpr int step_kind_count = 23;
 
 constexpr const char* step_name(step_kind k) noexcept {
     switch (k) {
@@ -69,6 +72,7 @@ constexpr const char* step_name(step_kind k) noexcept {
         case step_kind::safe_read_cache:  return "safe_read_cache";
         case step_kind::version_publish:  return "version_publish";
         case step_kind::rq_validate:      return "rq_validate";
+        case step_kind::batch_drain:      return "batch_drain";
     }
     return "?";
 }

@@ -1,0 +1,252 @@
+// Scheduler coverage for the batched multi-op path
+// (step_kind::batch_drain), across all three reclamation policies. The
+// windows under test:
+//
+//   * the cursor-resume handoff between sub-ops of one sorted batch: a
+//     preemption there lets concurrent erases/inserts restructure the
+//     neighbourhood the resumed seek starts from (dead landing cell,
+//     recycled aux, superhop retarget) — the batch must still serve
+//     every sub-op with per-op linearizable results;
+//   * a sorted batch racing a LIVE split-ordered resize: the batch bins
+//     keys against a mask sampled once, so a directory double/shrink
+//     mid-batch must only cost re-anchors, never a wrong result;
+//   * two batches racing each other (drain-vs-drain) over one key range,
+//     where each batch's insert hands its cursor the freshly linked
+//     cell (land_on_inserted) while the other batch tombstones it.
+//
+// Pinned seeds replay fixed schedules through the deterministic
+// scheduler — replay any one with LFLL_SCHED_REPLAY=<seed>.
+#define LFLL_SCHED_CHAOS 1
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "lfll/core/audit.hpp"
+#include "lfll/dict/sorted_list_map.hpp"
+#include "lfll/dict/split_ordered_map.hpp"
+#include "lfll/reclaim/epoch_policy.hpp"
+#include "lfll/reclaim/hazard_policy.hpp"
+#include "lfll/sched/session.hpp"
+
+namespace {
+
+using namespace lfll;
+
+sched::options pinned(std::uint64_t seed) {
+    sched::options o;
+    o.seed = seed;
+    o.sched_mode = (seed % 2 == 0) ? sched::mode::random_walk : sched::mode::pct;
+    o.change_points = 3;
+    o.max_steps = 2'000'000;
+    o.record_trace = true;
+    return o;
+}
+
+/// Batched gets over stable + churned keys: stable keys must always be
+/// present with their canonical value; churned keys absent or canonical.
+template <typename Map>
+void run_checked_batch(Map& m, int lo, int hi, int stable_step,
+                       std::uint64_t seed) {
+    std::vector<batch_op<int, int>> ops;
+    for (int k = lo; k < hi; ++k) ops.push_back({batch_op_kind::get, k, 0});
+    std::vector<batch_result<int>> out(ops.size());
+    m.apply_batch(ops.data(), ops.size(), out.data());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const int k = ops[i].key;
+        if (k % stable_step == 0) {
+            EXPECT_TRUE(out[i].ok) << "stable key " << k << " lost, seed " << seed;
+            if (out[i].ok) EXPECT_EQ(out[i].value, std::optional<int>(100 + k));
+        } else if (out[i].ok) {
+            EXPECT_EQ(out[i].value, std::optional<int>(200 + k))
+                << "churned key " << k << " carries a value nobody wrote, seed "
+                << seed;
+        }
+    }
+}
+
+/// Drain-vs-erase on the flat sorted map: the batch body's cursor rides
+/// through cells two churners tombstone and recycle under it.
+template <typename Policy>
+void run_drain_vs_erase(std::uint64_t seed) {
+    using map_t = sorted_list_map<int, int, std::less<int>, Policy>;
+    map_t map(48);  // tiny pool: erased cells recycle under the batch
+    for (int k = 0; k < 12; k += 2) map.insert(k, 100 + k);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([&map, seed] {
+        for (int round = 0; round < 3; ++round) {
+            run_checked_batch(map, 0, 12, 2, seed);
+        }
+    });
+    for (int t = 0; t < 2; ++t) {
+        bodies.push_back([&map, t] {
+            for (int i = 0; i < 3; ++i) {
+                const int k = 1 + 2 * ((t * 3 + i) % 5);
+                map.insert(k, 200 + k);
+                map.erase(k);
+            }
+        });
+    }
+    sched::run(pinned(seed), std::move(bodies));
+    EXPECT_GT(sched::scheduler::instance().kind_count(sched::step_kind::batch_drain),
+              0u)
+        << "schedule never entered a cursor-resume window, seed " << seed;
+    map.list().pool().flush_deferred_releases();
+    map.list().pool().drain_retired();
+    const audit_report r = audit_list(map.list());
+    EXPECT_TRUE(r.ok) << r.error << "\nseed " << seed
+                      << " — replay with LFLL_SCHED_REPLAY=" << seed;
+}
+
+/// Drain-vs-drain: two mixed batches over one range, each landing its
+/// cursor on cells the other tombstones. Post-conditions are checked at
+/// quiescence against per-key op balance.
+template <typename Policy>
+void run_drain_vs_drain(std::uint64_t seed) {
+    using map_t = sorted_list_map<int, int, std::less<int>, Policy>;
+    map_t map(64);
+    for (int k = 0; k < 8; k += 2) map.insert(k, 100 + k);
+    std::vector<int> won_inserts(2), won_erases(2);
+    std::vector<std::function<void()>> bodies;
+    for (int b = 0; b < 2; ++b) {
+        bodies.push_back([&map, &won_inserts, &won_erases, b] {
+            std::vector<batch_op<int, int>> ops;
+            for (int k = 1; k < 8; k += 2) {
+                ops.push_back({batch_op_kind::insert, k, 300 + k});
+                ops.push_back({batch_op_kind::get, k, 0});
+                ops.push_back({batch_op_kind::erase, k, 0});
+            }
+            std::vector<batch_result<int>> out(ops.size());
+            for (int round = 0; round < 2; ++round) {
+                map.apply_batch(ops.data(), ops.size(), out.data());
+                for (std::size_t i = 0; i < ops.size(); ++i) {
+                    if (!out[i].ok) continue;
+                    if (ops[i].kind == batch_op_kind::insert) won_inserts[b]++;
+                    if (ops[i].kind == batch_op_kind::erase) won_erases[b]++;
+                }
+            }
+        });
+    }
+    sched::run(pinned(seed), std::move(bodies));
+    EXPECT_GT(sched::scheduler::instance().kind_count(sched::step_kind::batch_drain),
+              0u)
+        << "schedule never interleaved the two drains, seed " << seed;
+    // Same-key insert/erase pairs inside each batch: globally, wins must
+    // balance to the surviving odd-key population.
+    const int balance = won_inserts[0] + won_inserts[1] - won_erases[0] -
+                        won_erases[1];
+    int odd_live = 0;
+    map.for_each([&](const int& k, const int& v) {
+        if (k % 2 == 1) {
+            ++odd_live;
+            EXPECT_EQ(v, 300 + k);
+        } else {
+            EXPECT_EQ(v, 100 + k);
+        }
+    });
+    EXPECT_EQ(balance, odd_live) << "seed " << seed;
+    EXPECT_EQ(map.size_slow(), static_cast<std::size_t>(4 + odd_live));
+    map.list().pool().flush_deferred_releases();
+    map.list().pool().drain_retired();
+    const audit_report r = audit_list(map.list());
+    EXPECT_TRUE(r.ok) << r.error << "\nseed " << seed
+                      << " — replay with LFLL_SCHED_REPLAY=" << seed;
+}
+
+/// Drain-vs-resize: a batch runs against the split-ordered map while a
+/// grower doubles the directory and a decayer shrinks it back — the
+/// batch's once-sampled bucket mask must only ever cost re-anchors.
+template <typename Policy>
+void run_drain_vs_resize(std::uint64_t seed) {
+    using map_t =
+        split_ordered_map<int, int, std::hash<int>, std::less<int>, Policy>;
+    typename map_t::config cfg;
+    cfg.initial_buckets = 2;
+    cfg.capacity_hint = 96;
+    cfg.max_load = 1.0;
+    cfg.min_load = 0.5;
+    cfg.resize_check_period = 1;
+    map_t map(cfg);
+    for (int k = 0; k < 8; k += 2) map.insert(k, 100 + k);
+    std::vector<std::function<void()>> bodies;
+    bodies.push_back([&map, seed] {
+        for (int round = 0; round < 3; ++round) {
+            run_checked_batch(map, 0, 8, 2, seed);
+        }
+    });
+    bodies.push_back([&map] {  // grower: forces splits mid-batch
+        for (int k = 100; k < 110; ++k) map.insert(k, k);
+    });
+    bodies.push_back([&map] {  // decayer: erases tick the shrink path
+        for (int k = 100; k < 110; ++k) map.erase(k);
+        for (int k = 100; k < 110; ++k) map.erase(k);  // misses tick too
+    });
+    sched::run(pinned(seed), std::move(bodies));
+    EXPECT_GT(sched::scheduler::instance().kind_count(sched::step_kind::batch_drain),
+              0u)
+        << "schedule never entered a batch window, seed " << seed;
+    for (int k = 100; k < 110; ++k) map.erase(k);
+    EXPECT_EQ(map.size_slow(), 4u);
+    map.list().pool().flush_deferred_releases();
+    map.list().pool().drain_retired();
+    std::map<const typename map_t::node*, std::size_t> external;
+    map.for_each_bucket_slot(
+        [&](std::size_t, typename map_t::node* d) { external[d] += 1; });
+    const audit_report r = audit_list(map.list(), external);
+    EXPECT_TRUE(r.ok) << r.error << "\nseed " << seed
+                      << " — replay with LFLL_SCHED_REPLAY=" << seed;
+}
+
+TEST(BatchSched, PinnedSeed_DrainVsErase_Refcount) {
+    for (std::uint64_t seed : {3ull, 8ull, 17ull, 29ull, 41ull}) {
+        run_drain_vs_erase<valois_refcount>(seed);
+    }
+}
+TEST(BatchSched, PinnedSeed_DrainVsErase_Hazard) {
+    for (std::uint64_t seed : {5ull, 12ull, 23ull}) {
+        run_drain_vs_erase<hazard_policy>(seed);
+    }
+}
+TEST(BatchSched, PinnedSeed_DrainVsErase_Epoch) {
+    for (std::uint64_t seed : {4ull, 9ull, 26ull}) {
+        run_drain_vs_erase<epoch_policy>(seed);
+    }
+}
+
+TEST(BatchSched, PinnedSeed_DrainVsDrain_Refcount) {
+    for (std::uint64_t seed : {2ull, 11ull, 35ull}) {
+        run_drain_vs_drain<valois_refcount>(seed);
+    }
+}
+TEST(BatchSched, PinnedSeed_DrainVsDrain_Hazard) {
+    for (std::uint64_t seed : {7ull, 20ull}) {
+        run_drain_vs_drain<hazard_policy>(seed);
+    }
+}
+TEST(BatchSched, PinnedSeed_DrainVsDrain_Epoch) {
+    for (std::uint64_t seed : {14ull, 33ull}) {
+        run_drain_vs_drain<epoch_policy>(seed);
+    }
+}
+
+TEST(BatchSched, PinnedSeed_DrainVsResize_Refcount) {
+    for (std::uint64_t seed : {2ull, 7ull, 13ull, 31ull}) {
+        run_drain_vs_resize<valois_refcount>(seed);
+    }
+}
+TEST(BatchSched, PinnedSeed_DrainVsResize_Hazard) {
+    for (std::uint64_t seed : {6ull, 19ull}) {
+        run_drain_vs_resize<hazard_policy>(seed);
+    }
+}
+TEST(BatchSched, PinnedSeed_DrainVsResize_Epoch) {
+    for (std::uint64_t seed : {10ull, 15ull}) {
+        run_drain_vs_resize<epoch_policy>(seed);
+    }
+}
+
+}  // namespace

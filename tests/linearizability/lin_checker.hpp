@@ -68,6 +68,32 @@ struct recorder {
         history.push_back({thread, k, key, result, inv, rsp, 0, {}});
     }
 
+    /// One sub-operation of a batched multi-op call.
+    struct batch_sub {
+        op_kind kind;
+        int key;
+    };
+
+    /// Records one batched call (apply_batch / multi_*): `call` performs
+    /// the whole batch and returns one bool per sub-op, in input order.
+    /// Every sub-op enters the history as its OWN operation, but all of
+    /// them share the batch call's invoke/response window — so the
+    /// checker must find each sub-op an individual linearization point
+    /// inside that window. That is exactly the batching contract: one
+    /// traversal, per-op linearization.
+    template <typename F>
+    void record_batch(int thread, const std::vector<batch_sub>& subs, F&& call) {
+        const std::uint64_t inv = ticket.fetch_add(1, std::memory_order_acq_rel);
+        const std::vector<bool> results = call();
+        const std::uint64_t rsp = ticket.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard lk(mu);
+        for (std::size_t i = 0; i < subs.size(); ++i) {
+            history.push_back({thread, subs[i].kind, subs[i].key,
+                               i < results.size() && results[i], inv, rsp, 0,
+                               {}});
+        }
+    }
+
     /// Records a range query [lo, hi): `call` returns the key vector. The
     /// whole query is one operation with one linearization point.
     template <typename F>

@@ -18,6 +18,7 @@
 #include "lfll/baseline/harris_michael_list.hpp"
 #include "lfll/dict/bst.hpp"
 #include "lfll/dict/hash_map.hpp"
+#include "lfll/dict/sharded_kv.hpp"
 #include "lfll/dict/skip_list.hpp"
 #include "lfll/dict/sorted_list_map.hpp"
 #include "lfll/dict/split_ordered_map.hpp"
@@ -146,6 +147,42 @@ TEST(LinChecker, RejectsRangeResurrectingErasedKey) {
     EXPECT_FALSE(lin::is_linearizable(h));
 }
 
+// Batched sub-ops share one invoke/response window (record_batch) but
+// each needs its own linearization point inside it.
+
+TEST(LinChecker, AcceptsBatchSubOpsOrderedWithinSharedWindow) {
+    // One batch @0..1 carrying contains(1)=false and insert(1)=true: only
+    // read-before-insert works, and the shared window permits it.
+    std::vector<recorded_op> h{
+        mk(0, op_kind::contains, 1, false, 0, 1),
+        mk(0, op_kind::insert, 1, true, 0, 1),
+    };
+    EXPECT_TRUE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, SharedWindowDoesNotLaunderSubOpResults) {
+    // insert(1) completed before the batch window opened; the batch still
+    // claims insert(1)=true with no erase anywhere — no order explains it.
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 1, true, 0, 1),
+        mk(1, op_kind::insert, 1, true, 2, 3),   // batch sub-op
+        mk(1, op_kind::contains, 1, true, 2, 3),  // batch sub-op
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
+TEST(LinChecker, RespectsPrecedenceBetweenBatches) {
+    // Batch A (insert(2)=true) fully precedes batch B, so B's
+    // contains(2)=false has no valid point.
+    std::vector<recorded_op> h{
+        mk(0, op_kind::insert, 2, true, 0, 1),
+        mk(0, op_kind::contains, 3, false, 0, 1),
+        mk(1, op_kind::contains, 2, false, 2, 3),
+        mk(1, op_kind::insert, 3, true, 2, 3),
+    };
+    EXPECT_FALSE(lin::is_linearizable(h));
+}
+
 // ------------------------------------------------------------- recording
 // real histories from the library's dictionaries.
 
@@ -248,6 +285,96 @@ void check_structure_rq(MakeDict&& make, int rounds) {
     }
 }
 
+/// Like check_structure, but roughly half the ops arrive as batched
+/// multi-ops (apply_batch through the shim): each batch is recorded with
+/// record_batch, so every sub-op must linearize individually inside the
+/// batch call's window while other threads' batches and single ops race
+/// the shared traversal.
+template <typename MakeDict>
+void check_structure_batched(MakeDict&& make, int rounds) {
+    constexpr int kThreads = 3;
+    constexpr int kItersPerThread = 3;
+    constexpr int kKeys = 3;
+    for (int round = 0; round < rounds; ++round) {
+        auto dict = make();
+        recorder rec;
+        std::atomic<bool> go{false};
+        std::vector<std::thread> ts;
+        for (int t = 0; t < kThreads; ++t) {
+            ts.emplace_back([&, t] {
+                xorshift64 rng(0xBA7C + static_cast<std::uint64_t>(round) * 131 +
+                               static_cast<std::uint64_t>(t) * 7);
+                while (!go.load(std::memory_order_acquire)) {
+                }
+                auto pick_kind = [&rng] {
+                    switch (rng.next() % 3) {
+                        case 0:  return op_kind::insert;
+                        case 1:  return op_kind::erase;
+                        default: return op_kind::contains;
+                    }
+                };
+                for (int i = 0; i < kItersPerThread; ++i) {
+                    if (rng.next_below(2) == 0) {
+                        // A 3-op batch; duplicate keys allowed, so batches
+                        // exercise the same-key cursor-resume path too.
+                        std::vector<recorder::batch_sub> subs;
+                        for (int j = 0; j < 3; ++j) {
+                            subs.push_back({pick_kind(),
+                                            static_cast<int>(rng.next_below(kKeys))});
+                        }
+                        rec.record_batch(t, subs,
+                                         [&] { return dict->apply(subs); });
+                    } else {
+                        for (int j = 0; j < 2; ++j) {
+                            const int k = static_cast<int>(rng.next_below(kKeys));
+                            switch (pick_kind()) {
+                                case op_kind::insert:
+                                    rec.record(t, op_kind::insert, k,
+                                               [&] { return dict->insert(k); });
+                                    break;
+                                case op_kind::erase:
+                                    rec.record(t, op_kind::erase, k,
+                                               [&] { return dict->erase(k); });
+                                    break;
+                                default:
+                                    rec.record(t, op_kind::contains, k,
+                                               [&] { return dict->contains(k); });
+                                    break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        go.store(true, std::memory_order_release);
+        for (auto& th : ts) th.join();
+        ASSERT_TRUE(lin::is_linearizable(rec.history))
+            << "round " << round << "\n"
+            << lin::describe(rec.history);
+    }
+}
+
+/// Translates recorder sub-ops into one apply_batch call and returns the
+/// per-op outcomes in input order.
+template <typename Map>
+std::vector<bool> apply_recorded_batch(
+    Map& m, const std::vector<lin::recorder::batch_sub>& subs) {
+    std::vector<lfll::batch_op<int, int>> ops;
+    ops.reserve(subs.size());
+    for (const auto& s : subs) {
+        lfll::batch_op_kind k = lfll::batch_op_kind::get;
+        if (s.kind == op_kind::insert) k = lfll::batch_op_kind::insert;
+        if (s.kind == op_kind::erase) k = lfll::batch_op_kind::erase;
+        ops.push_back({k, s.key, s.key});
+    }
+    std::vector<lfll::batch_result<int>> out(ops.size());
+    m.apply_batch(ops.data(), ops.size(), out.data());
+    std::vector<bool> res;
+    res.reserve(out.size());
+    for (const auto& r : out) res.push_back(r.ok);
+    return res;
+}
+
 // Set-interface shims.
 struct flat_shim {
     sorted_list_map<int, int> m{64};
@@ -258,6 +385,9 @@ struct flat_shim {
         std::vector<int> out;
         for (const auto& kv : m.range_query(lo, hi)) out.push_back(kv.first);
         return out;
+    }
+    std::vector<bool> apply(const std::vector<lin::recorder::batch_sub>& subs) {
+        return apply_recorded_batch(m, subs);
     }
 };
 struct hash_shim {
@@ -296,6 +426,20 @@ struct so_shim {
         for (const auto& kv : m.range_query(lo, hi)) out.push_back(kv.first);
         return out;
     }
+    std::vector<bool> apply(const std::vector<lin::recorder::batch_sub>& subs) {
+        return apply_recorded_batch(m, subs);
+    }
+};
+struct sharded_shim {
+    // Batches scatter across shards and gather back into input order.
+    sharded_kv<sorted_list_map<int, int>> m{
+        2, [](std::size_t) { return std::make_unique<sorted_list_map<int, int>>(64); }};
+    bool insert(int k) { return m.insert(k, k); }
+    bool erase(int k) { return m.erase(k); }
+    bool contains(int k) { return m.contains(k); }
+    std::vector<bool> apply(const std::vector<lin::recorder::batch_sub>& subs) {
+        return apply_recorded_batch(m, subs);
+    }
 };
 struct hm_shim {
     harris_michael_list<int, int> m;
@@ -333,6 +477,23 @@ TEST(Linearizability, SkipListMapRange) {
 }
 TEST(Linearizability, BstSetRange) {
     check_structure_rq([] { return std::make_unique<bst_shim>(); }, kRounds);
+}
+
+// Batched multi-ops: each sub-op of an apply_batch call must linearize
+// individually inside the call's window (record_batch), racing single
+// ops and other batches. The split-ordered shim keeps its tiny directory
+// so batches span live resizes.
+TEST(Linearizability, SortedListMapBatched) {
+    check_structure_batched([] { return std::make_unique<flat_shim>(); },
+                            kRounds);
+}
+TEST(Linearizability, SplitOrderedMapBatched) {
+    check_structure_batched([] { return std::make_unique<so_shim>(); },
+                            kRounds);
+}
+TEST(Linearizability, ShardedKvBatched) {
+    check_structure_batched([] { return std::make_unique<sharded_shim>(); },
+                            kRounds);
 }
 
 }  // namespace

@@ -138,6 +138,42 @@ void render_profiler_panel(const snapshot& cur) {
     }
 }
 
+/// Pipeline panel: folds the batched-request metrics (harness/pipeline.hpp)
+/// into one line + a ring-occupancy strip, so a live view answers "is
+/// batching actually coalescing, and which shard ring is backed up".
+void render_pipeline_panel(const snapshot& cur) {
+    const auto get = [&](const std::string& k) -> const double* {
+        const auto it = cur.metrics.find(k);
+        return it == cur.metrics.end() ? nullptr : &it->second;
+    };
+    const double* reqs = get("lfll_pipeline_requests_total");
+    if (reqs == nullptr) return;  // no pipeline in this stream
+    const double* batches = get("lfll_pipeline_batches_total");
+    const double* waits = get("lfll_pipeline_drain_waits_total");
+    const double* inl = get("lfll_pipeline_inline_drains_total");
+    const double* p50 = get("lfll_pipeline_batch_size_p50");
+    const double* p99 = get("lfll_pipeline_batch_size_p99");
+    const double nb = batches != nullptr ? *batches : 0.0;
+    std::printf(
+        "\npipeline: %.0f requests / %.0f batches (avg %.2f, p50 %.0f, p99 "
+        "%.0f), %.0f inline drains, %.0f executor waits\n",
+        *reqs, nb, nb > 0 ? *reqs / nb : 0.0, p50 != nullptr ? *p50 : 0.0,
+        p99 != nullptr ? *p99 : 0.0, inl != nullptr ? *inl : 0.0,
+        waits != nullptr ? *waits : 0.0);
+    bool header = false;
+    for (int s = 0;; ++s) {
+        const double* occ =
+            get("lfll_pipeline_ring_occupancy{shard=\"" + std::to_string(s) +
+                "\"}");
+        if (occ == nullptr) break;
+        if (!header) {
+            std::printf("%6s %10s\n", "shard", "ring_occ");
+            header = true;
+        }
+        std::printf("%6d %10.0f\n", s, *occ);
+    }
+}
+
 void render(const snapshot& cur, const snapshot* prev, bool ansi) {
     if (ansi) std::fputs("\x1b[H\x1b[2J", stdout);
     std::printf("lfll_top — %zu metrics, ts_ms=%llu\n\n", cur.metrics.size(),
@@ -164,6 +200,7 @@ void render(const snapshot& cur, const snapshot* prev, bool ansi) {
         std::printf("%-64s %16s %12s\n", key.c_str(), val, rate);
     }
     render_profiler_panel(cur);
+    render_pipeline_panel(cur);
     std::fflush(stdout);
 }
 
